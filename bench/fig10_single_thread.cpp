@@ -1,0 +1,10 @@
+// Reproduces Figure 10: single-thread performance impact of the runtime
+// configurations (stack+heap R+W, stack+heap W-only, heap W-only) and the
+// compiler optimization, relative to baseline.
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::fig10_single_thread(opt);
+  return 0;
+}

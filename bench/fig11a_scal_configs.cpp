@@ -1,0 +1,9 @@
+// Reproduces Figure 11(a): improvement over baseline at 16 threads for the
+// runtime (tree) configurations and the compiler optimization.
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::fig11a_configs(opt);
+  return 0;
+}

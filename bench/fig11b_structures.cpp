@@ -1,0 +1,10 @@
+// Reproduces Figure 11(b): improvement over baseline at 16 threads for the
+// three allocation-log data structures (write-only, heap-only checks) and
+// the compiler optimization.
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::fig11b_structures(opt);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 9: portion of read (a) and write (b) barriers removed
+// by tree / array / filter runtime capture analysis and by the compiler
+// capture analysis.
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::fig9_removed(opt);
+  return 0;
+}

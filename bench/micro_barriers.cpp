@@ -1,0 +1,119 @@
+// Micro-benchmarks of the barrier primitives: cost of a full barrier vs an
+// elided barrier under each capture-check mechanism, plus the ablation the
+// paper implies (how much a failed runtime check costs on top of a full
+// barrier). google-benchmark based.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace {
+
+using namespace cstm;
+
+void BM_FullReadBarrier(benchmark::State& state) {
+  set_global_config(TxConfig::baseline());
+  std::vector<std::uint64_t> data(1024, 1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        sink += tm_read(tx, &data[i]);
+      }
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FullReadBarrier);
+
+void BM_FullWriteBarrier(benchmark::State& state) {
+  set_global_config(TxConfig::baseline());
+  std::vector<std::uint64_t> data(1024, 1);
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        tm_write(tx, &data[i], i);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FullWriteBarrier);
+
+// A runtime check that always misses: the pure overhead kmeans pays.
+void BM_WriteBarrier_FailedRuntimeCheck(benchmark::State& state) {
+  TxConfig cfg = TxConfig::runtime_rw(
+      static_cast<AllocLogKind>(state.range(0)));
+  set_global_config(cfg);
+  std::vector<std::uint64_t> data(1024, 1);
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        tm_write(tx, &data[i], i, kAutoSite);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_WriteBarrier_FailedRuntimeCheck)->Arg(0)->Arg(1)->Arg(2);
+
+// A runtime check that always hits: captured heap writes.
+void BM_WriteBarrier_ElidedHeap(benchmark::State& state) {
+  set_global_config(TxConfig::runtime_w(
+      static_cast<AllocLogKind>(state.range(0))));
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      auto* block = static_cast<std::uint64_t*>(tx_malloc(tx, 1024 * 8));
+      for (std::size_t i = 0; i < 1024; ++i) {
+        tm_write(tx, &block[i], i, kAutoSite);
+      }
+      tx_free(tx, block);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_WriteBarrier_ElidedHeap)->Arg(0)->Arg(1)->Arg(2);
+
+// Stack capture: the single range check of Figure 4.
+void BM_WriteBarrier_ElidedStack(benchmark::State& state) {
+  set_global_config(TxConfig::runtime_w());
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      std::uint64_t local[64];
+      for (std::size_t i = 0; i < 64; ++i) {
+        tm_write(tx, &local[i], i, kAutoSite);
+      }
+      benchmark::DoNotOptimize(local);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WriteBarrier_ElidedStack);
+
+// Compiler elision: zero runtime cost beyond the counter.
+void BM_WriteBarrier_StaticElision(benchmark::State& state) {
+  set_global_config(TxConfig::compiler());
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      auto* block = static_cast<std::uint64_t*>(tx_malloc(tx, 1024 * 8));
+      for (std::size_t i = 0; i < 1024; ++i) {
+        tm_write(tx, &block[i], i, kAutoCapturedSite);
+      }
+      tx_free(tx, block);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_WriteBarrier_StaticElision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  cstm::set_global_config(cstm::TxConfig::baseline());
+  return 0;
+}

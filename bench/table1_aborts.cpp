@@ -1,0 +1,9 @@
+// Reproduces Table 1: abort-to-commit ratio at 16 threads for baseline,
+// tree, array, filtering and compiler configurations.
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::table1_aborts(opt);
+  return 0;
+}

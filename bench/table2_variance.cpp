@@ -1,0 +1,9 @@
+// Reproduces Table 2: percent relative standard deviation over 5 repeated
+// runs at 16 threads, per application and configuration.
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::table2_variance(opt);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Compiler capture analysis demo: builds the paper's Figure 1 code patterns
+// in txir, runs the intraprocedural pointer analysis with and without
+// inlining, and prints which STM barriers it removes.
+#include <cstdio>
+
+#include "txir/capture_analysis.hpp"
+#include "txir/ir.hpp"
+#include "txir/kernels.hpp"
+
+int main() {
+  using namespace cstm::txir;
+  const Program program = stamp_kernels();
+
+  std::printf("txir compiler capture analysis (paper Section 3.2)\n");
+  std::printf("==================================================\n\n");
+
+  const char* entries[] = {"list_insert", "iter_loop", "vacation_query",
+                           "kmeans_update", "rbtree_insert"};
+  for (const char* entry : entries) {
+    for (const int depth : {0, 2}) {
+      const AnalysisResult result = analyze(program, entry, depth);
+      std::printf("%s (inline depth %d):\n", entry, depth);
+      for (const BarrierDecision& b : result.barriers) {
+        std::printf("  %-6s %-28s -> %s\n", b.is_store ? "store" : "load",
+                    b.site.c_str(),
+                    b.elidable ? "ELIDED (captured)" : "keep barrier");
+      }
+      std::printf("  summary: %zu/%zu loads, %zu/%zu stores elided\n\n",
+                  result.elided(false), result.total(false),
+                  result.elided(true), result.total(true));
+    }
+  }
+
+  std::printf("IR of vacation_query after inlining the vector allocator:\n");
+  const Function* f = program.find("vacation_query");
+  std::printf("%s\n", to_string(inline_calls(program, *f, 2)).c_str());
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Travel-booking scenario: drives the vacation benchmark's Manager-style
+// data structures directly through the public API — ordered maps for
+// inventory, a per-customer booking list, and tasks that reserve the
+// best-priced available item, comparing the optimization presets.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "containers/txlist.hpp"
+#include "containers/txmap.hpp"
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace cstm;
+
+struct Room {
+  std::uint64_t free;
+  std::uint64_t price;
+};
+
+struct Hotel {
+  TxMap<std::uint64_t, Room*> rooms;
+  TxList<std::uint64_t> bookings{/*allow_duplicates=*/true};
+};
+
+double run_scenario(const char* label, const TxConfig& cfg) {
+  set_global_config(cfg);
+  stats_reset();
+
+  Hotel hotel;
+  Tx& setup_tx = current_tx();
+  for (std::uint64_t id = 0; id < 512; ++id) {
+    auto* room = static_cast<Room*>(Pool::local().allocate(sizeof(Room)));
+    room->free = 4;
+    room->price = 80 + id % 120;
+    hotel.rooms.insert(setup_tx, id, room);
+  }
+
+  Timer timer;
+  std::vector<std::thread> agents;
+  for (int t = 0; t < 8; ++t) {
+    agents.emplace_back([&, t] {
+      Xoshiro256 rng(42 + static_cast<std::uint64_t>(t));
+      for (int task = 0; task < 2000; ++task) {
+        atomic([&](Tx& tx) {
+          // Query three candidate rooms, book the cheapest available.
+          std::uint64_t best_id = 0;
+          std::uint64_t best_price = ~std::uint64_t{0};
+          Room* best = nullptr;
+          for (int q = 0; q < 3; ++q) {
+            const std::uint64_t id = rng.below(512);
+            Room* room = nullptr;
+            if (!hotel.rooms.find(tx, id, &room)) continue;
+            const std::uint64_t free = tm_read(tx, &room->free);
+            const std::uint64_t price = tm_read(tx, &room->price);
+            if (free > 0 && price < best_price) {
+              best = room;
+              best_id = id;
+              best_price = price;
+            }
+          }
+          if (best != nullptr) {
+            tm_write(tx, &best->free, tm_read(tx, &best->free) - 1);
+            hotel.bookings.insert(tx, (best_id << 16) | best_price);
+          }
+        });
+        // Occasionally release the oldest booking.
+        if (task % 8 == 7) {
+          atomic([&](Tx& tx) {
+            typename TxList<std::uint64_t>::Iterator it;
+            hotel.bookings.iter_reset(tx, &it);
+            if (hotel.bookings.iter_has_next(tx, &it)) {
+              const std::uint64_t b = hotel.bookings.iter_next(tx, &it);
+              Room* room = nullptr;
+              if (hotel.rooms.find(tx, b >> 16, &room)) {
+                tm_add(tx, &room->free, std::uint64_t{1});
+              }
+              hotel.bookings.remove(tx, b);
+            }
+          });
+        }
+      }
+    });
+  }
+  for (auto& a : agents) a.join();
+  const double seconds = timer.seconds();
+
+  const TxStats s = stats_snapshot();
+  std::printf("%-22s %.3fs  commits=%llu aborts=%llu elided W=%llu R=%llu\n",
+              label, seconds, static_cast<unsigned long long>(s.commits),
+              static_cast<unsigned long long>(s.aborts),
+              static_cast<unsigned long long>(s.write_elided()),
+              static_cast<unsigned long long>(s.read_elided()));
+
+  hotel.rooms.for_each_sequential(
+      [](std::uint64_t, Room* r) { Pool::deallocate(r); });
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("travel booking, 8 agents x 2000 tasks, 512 rooms\n");
+  run_scenario("baseline", TxConfig::baseline());
+  run_scenario("runtime tree (W)", TxConfig::runtime_w(AllocLogKind::kTree));
+  run_scenario("runtime array (W)", TxConfig::runtime_w(AllocLogKind::kArray));
+  run_scenario("compiler", TxConfig::compiler());
+  set_global_config(TxConfig::baseline());
+  return 0;
+}

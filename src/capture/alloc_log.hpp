@@ -1,0 +1,55 @@
+// Allocation-log interface for runtime capture analysis (paper Section 3.1.2).
+//
+// Every memory block allocated inside a transaction is recorded in a
+// transaction-local allocation log; the read/write barriers consult the log
+// to decide whether an access targets captured memory and can skip the full
+// STM barrier. Three implementations are compared in the paper and provided
+// here: a search tree (precise), a cache-line-sized array (bounded,
+// conservative) and a hash filter (conservative, false negatives allowed).
+//
+// Conservativeness contract: contains() may return false for logged memory
+// (missed elision) but must never return true for memory that was not logged
+// by the current transaction. Our STM does in-place updates, for which the
+// paper notes capture analysis may be arbitrarily imprecise yet remain safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstm {
+
+enum class AllocLogKind : std::uint8_t { kTree = 0, kArray = 1, kFilter = 2 };
+
+inline const char* to_string(AllocLogKind k) {
+  switch (k) {
+    case AllocLogKind::kTree: return "tree";
+    case AllocLogKind::kArray: return "array";
+    case AllocLogKind::kFilter: return "filter";
+  }
+  return "?";
+}
+
+class AllocLog {
+ public:
+  virtual ~AllocLog() = default;
+
+  /// Records a block [addr, addr+size). Blocks are disjoint (they come from
+  /// the allocator). May silently drop the block (conservative).
+  virtual void insert(const void* addr, std::size_t size) = 0;
+
+  /// Removes a block previously inserted with the same base address.
+  virtual void erase(const void* addr, std::size_t size) = 0;
+
+  /// True if [addr, addr+size) lies entirely inside one logged block.
+  virtual bool contains(const void* addr, std::size_t size) const = 0;
+
+  /// Empties the log (called at transaction end, commit or abort).
+  virtual void clear() = 0;
+
+  /// Number of blocks currently tracked (diagnostic).
+  virtual std::size_t entries() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace cstm

@@ -1,0 +1,56 @@
+// Hash-filter allocation log (paper Section 3.1.2 "Filtering"): a hash table
+// in which every word of an allocated block is marked with its exact
+// address. A capture check is one hash + one compare. Collisions overwrite
+// older marks, producing false negatives only — never false positives — so
+// the filter stays conservative. Unlike the paper's description, entries are
+// epoch-stamped so that clearing the log at transaction end is O(1) instead
+// of O(table size).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "capture/alloc_log.hpp"
+
+namespace cstm {
+
+class FilterAllocLog final : public AllocLog {
+ public:
+  static constexpr std::size_t kDefaultTableBits = 12;  // 4096 entries
+
+  /// Caps the per-block marking work; words beyond the cap go untracked
+  /// (conservative). The paper notes insertion cost grows with block size —
+  /// this bound keeps worst-case allocation cost predictable.
+  static constexpr std::size_t kMaxWordsPerBlock = 4096;
+
+  explicit FilterAllocLog(std::size_t table_bits = kDefaultTableBits);
+
+  void insert(const void* addr, std::size_t size) override;
+  void erase(const void* addr, std::size_t size) override;
+  bool contains(const void* addr, std::size_t size) const override;
+  void clear() override;
+  std::size_t entries() const override { return blocks_; }
+  const char* name() const override { return "filter"; }
+
+  std::size_t table_size() const { return table_.size(); }
+  std::uint64_t words_skipped() const { return words_skipped_; }
+
+ private:
+  struct Entry {
+    std::uintptr_t word = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  std::size_t slot_of(std::uintptr_t word) const {
+    return static_cast<std::size_t>((word >> 3) * 0x9e3779b97f4a7c15ull >>
+                                    shift_);
+  }
+
+  std::vector<Entry> table_;
+  unsigned shift_;
+  std::uint64_t epoch_ = 1;
+  std::size_t blocks_ = 0;
+  std::uint64_t words_skipped_ = 0;
+};
+
+}  // namespace cstm

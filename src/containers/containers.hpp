@@ -1,0 +1,10 @@
+// Umbrella header for the transactional containers.
+#pragma once
+
+#include "containers/txbitmap.hpp"
+#include "containers/txhashtable.hpp"
+#include "containers/txheap.hpp"
+#include "containers/txlist.hpp"
+#include "containers/txmap.hpp"
+#include "containers/txqueue.hpp"
+#include "containers/txvector.hpp"

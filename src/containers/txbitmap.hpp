@@ -1,0 +1,63 @@
+// Transactional bitmap (STAMP lib/bitmap equivalent; ssca2 and intruder use
+// it to claim work items exactly once).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "stm/stm.hpp"
+
+namespace cstm {
+
+namespace bitmap_sites {
+inline constexpr Site kWord{"bitmap.word", true, false};
+}  // namespace bitmap_sites
+
+class TxBitmap {
+ public:
+  explicit TxBitmap(std::size_t bits)
+      : bits_(bits), words_(new std::uint64_t[(bits + 63) / 64]()) {}
+
+  TxBitmap(const TxBitmap&) = delete;
+  TxBitmap& operator=(const TxBitmap&) = delete;
+
+  /// Sets bit @p i; returns false if it was already set (claim semantics).
+  bool set(Tx& tx, std::size_t i) {
+    std::uint64_t* w = &words_[i / 64];
+    const std::uint64_t mask = 1ull << (i % 64);
+    const std::uint64_t old = tm_read(tx, w, bitmap_sites::kWord);
+    if ((old & mask) != 0) return false;
+    tm_write(tx, w, old | mask, bitmap_sites::kWord);
+    return true;
+  }
+
+  bool test(Tx& tx, std::size_t i) {
+    return (tm_read(tx, &words_[i / 64], bitmap_sites::kWord) &
+            (1ull << (i % 64))) != 0;
+  }
+
+  void clear(Tx& tx, std::size_t i) {
+    std::uint64_t* w = &words_[i / 64];
+    const std::uint64_t old = tm_read(tx, w, bitmap_sites::kWord);
+    tm_write(tx, w, std::uint64_t{old & ~(1ull << (i % 64))},
+             bitmap_sites::kWord);
+  }
+
+  std::size_t size() const { return bits_; }
+
+  /// Sequential popcount for verification.
+  std::size_t count_sequential() const {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < (bits_ + 63) / 64; ++w) {
+      total += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
+    }
+    return total;
+  }
+
+ private:
+  std::size_t bits_;
+  std::unique_ptr<std::uint64_t[]> words_;
+};
+
+}  // namespace cstm

@@ -1,0 +1,137 @@
+// Transactional chained hash table (STAMP lib/hashtable equivalent): a
+// fixed bucket array of singly-linked chains. Used by genome (segment
+// dedup) and intruder (per-flow reassembly maps).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "stm/stm.hpp"
+
+namespace cstm {
+
+namespace hash_sites {
+inline constexpr Site kNodeInit{"hashtable.node.init", false, true};
+inline constexpr Site kLink{"hashtable.link", true, false};
+inline constexpr Site kTraverse{"hashtable.traverse", true, false};
+inline constexpr Site kSize{"hashtable.size", true, false};
+}  // namespace hash_sites
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+  requires TmValue<K> && TmValue<V>
+class TxHashtable {
+ public:
+  explicit TxHashtable(std::size_t buckets = 1024)
+      : mask_(round_up_pow2(buckets) - 1),
+        buckets_(new Node*[mask_ + 1]()) {}
+
+  ~TxHashtable() {
+    for (std::size_t b = 0; b <= mask_; ++b) {
+      Node* n = buckets_[b];
+      while (n != nullptr) {
+        Node* next = n->next;
+        Pool::deallocate(n);
+        n = next;
+      }
+    }
+  }
+  TxHashtable(const TxHashtable&) = delete;
+  TxHashtable& operator=(const TxHashtable&) = delete;
+
+  /// Inserts (k, v); returns false if the key already exists.
+  bool insert(Tx& tx, const K& k, const V& v) {
+    Node** bucket = &buckets_[slot(k)];
+    Node* cur = tm_read(tx, bucket, hash_sites::kTraverse);
+    Node* head = cur;
+    while (cur != nullptr) {
+      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) return false;
+      cur = tm_read(tx, &cur->next, hash_sites::kTraverse);
+    }
+    Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
+    tm_write(tx, &node->key, k, hash_sites::kNodeInit);
+    tm_write(tx, &node->value, v, hash_sites::kNodeInit);
+    tm_write(tx, &node->next, head, hash_sites::kNodeInit);
+    tm_write(tx, bucket, node, hash_sites::kLink);
+    tm_add(tx, &size_, std::size_t{1}, hash_sites::kSize);
+    return true;
+  }
+
+  /// Looks up @p k; stores the value into *out when found.
+  bool find(Tx& tx, const K& k, V* out = nullptr) {
+    Node* cur = tm_read(tx, &buckets_[slot(k)], hash_sites::kTraverse);
+    while (cur != nullptr) {
+      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) {
+        if (out != nullptr) *out = tm_read(tx, &cur->value, hash_sites::kTraverse);
+        return true;
+      }
+      cur = tm_read(tx, &cur->next, hash_sites::kTraverse);
+    }
+    return false;
+  }
+
+  bool contains(Tx& tx, const K& k) { return find(tx, k, nullptr); }
+
+  /// Updates the value of an existing key; inserts when absent.
+  void put(Tx& tx, const K& k, const V& v) {
+    Node* cur = tm_read(tx, &buckets_[slot(k)], hash_sites::kTraverse);
+    while (cur != nullptr) {
+      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) {
+        tm_write(tx, &cur->value, v, hash_sites::kLink);
+        return;
+      }
+      cur = tm_read(tx, &cur->next, hash_sites::kTraverse);
+    }
+    insert(tx, k, v);
+  }
+
+  bool erase(Tx& tx, const K& k) {
+    Node** bucket = &buckets_[slot(k)];
+    Node* prev = nullptr;
+    Node* cur = tm_read(tx, bucket, hash_sites::kTraverse);
+    while (cur != nullptr) {
+      Node* next = tm_read(tx, &cur->next, hash_sites::kTraverse);
+      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) {
+        if (prev == nullptr) {
+          tm_write(tx, bucket, next, hash_sites::kLink);
+        } else {
+          tm_write(tx, &prev->next, next, hash_sites::kLink);
+        }
+        tm_add(tx, &size_, static_cast<std::size_t>(-1), hash_sites::kSize);
+        tx_free(tx, cur);
+        return true;
+      }
+      prev = cur;
+      cur = next;
+    }
+    return false;
+  }
+
+  std::size_t size(Tx& tx) { return tm_read(tx, &size_, hash_sites::kSize); }
+  std::size_t bucket_count() const { return mask_ + 1; }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    Node* next;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::size_t slot(const K& k) const {
+    // Mix the hash so contiguous keys spread across buckets.
+    const std::uint64_t h = Hash{}(k) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 32) & mask_;
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<Node*[]> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cstm

@@ -1,0 +1,153 @@
+// Transactional sorted singly-linked list (STAMP lib/list equivalent).
+//
+// Every memory access inside a transactional method goes through an STM
+// barrier, emulating naive compiler instrumentation. Site flags encode the
+// paper's measurement methodology:
+//  * node-initialization stores after tx_new are `manual=false,
+//    static_captured=true` — original STAMP used plain stores there (the
+//    compiler over-instruments them; capture analysis elides them);
+//  * link/traversal accesses are `manual=true` — STAMP's TM_SHARED_*.
+//  * iterator-state accesses are `manual=false, static_captured=true`;
+//    iterators MUST be declared inside the atomic block (as in STAMP's
+//    Figure 1(a) usage) for that flag to be sound.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "stm/stm.hpp"
+
+namespace cstm {
+
+namespace list_sites {
+inline constexpr Site kNodeInit{"list.node.init", false, true};
+inline constexpr Site kLink{"list.link", true, false};
+inline constexpr Site kTraverse{"list.traverse", true, false};
+inline constexpr Site kSize{"list.size", true, false};
+inline constexpr Site kIter{"list.iter", false, true};
+}  // namespace list_sites
+
+template <typename T, typename Compare = std::less<T>>
+  requires TmValue<T>
+class TxList {
+ public:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  struct Iterator {
+    Node* cur = nullptr;
+  };
+
+  explicit TxList(bool allow_duplicates = false)
+      : allow_duplicates_(allow_duplicates) {}
+
+  ~TxList() {
+    Node* n = head_.next;
+    while (n != nullptr) {
+      Node* next = n->next;
+      Pool::deallocate(n);
+      n = next;
+    }
+  }
+
+  TxList(const TxList&) = delete;
+  TxList& operator=(const TxList&) = delete;
+
+  /// Inserts @p v keeping the list sorted. Returns false for a duplicate
+  /// when duplicates are disallowed.
+  bool insert(Tx& tx, const T& v) {
+    Node* prev = &head_;
+    Node* cur = tm_read(tx, &prev->next, list_sites::kTraverse);
+    while (cur != nullptr) {
+      const T cv = tm_read(tx, &cur->value, list_sites::kTraverse);
+      if (!cmp_(cv, v)) {
+        if (!cmp_(v, cv) && !allow_duplicates_) return false;  // equal
+        break;
+      }
+      prev = cur;
+      cur = tm_read(tx, &cur->next, list_sites::kTraverse);
+    }
+    Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
+    // Initialization of freshly captured memory: over-instrumented by a
+    // naive compiler, elidable by capture analysis.
+    tm_write(tx, &node->value, v, list_sites::kNodeInit);
+    tm_write(tx, &node->next, cur, list_sites::kNodeInit);
+    tm_write(tx, &prev->next, node, list_sites::kLink);
+    tm_add(tx, &size_, std::size_t{1}, list_sites::kSize);
+    return true;
+  }
+
+  /// Removes one occurrence of @p v. Returns false if absent.
+  bool remove(Tx& tx, const T& v) {
+    Node* prev = &head_;
+    Node* cur = tm_read(tx, &prev->next, list_sites::kTraverse);
+    while (cur != nullptr) {
+      const T cv = tm_read(tx, &cur->value, list_sites::kTraverse);
+      if (!cmp_(cv, v)) {
+        if (cmp_(v, cv)) return false;  // passed the slot: absent
+        Node* next = tm_read(tx, &cur->next, list_sites::kTraverse);
+        tm_write(tx, &prev->next, next, list_sites::kLink);
+        tm_add(tx, &size_, static_cast<std::size_t>(-1), list_sites::kSize);
+        tx_free(tx, cur);
+        return true;
+      }
+      prev = cur;
+      cur = tm_read(tx, &cur->next, list_sites::kTraverse);
+    }
+    return false;
+  }
+
+  bool contains(Tx& tx, const T& v) {
+    Node* cur = tm_read(tx, &head_.next, list_sites::kTraverse);
+    while (cur != nullptr) {
+      const T cv = tm_read(tx, &cur->value, list_sites::kTraverse);
+      if (!cmp_(cv, v)) return !cmp_(v, cv);
+      cur = tm_read(tx, &cur->next, list_sites::kTraverse);
+    }
+    return false;
+  }
+
+  std::size_t size(Tx& tx) { return tm_read(tx, &size_, list_sites::kSize); }
+  bool empty(Tx& tx) { return size(tx) == 0; }
+
+  /// Removes every element (transactionally).
+  void clear(Tx& tx) {
+    Node* cur = tm_read(tx, &head_.next, list_sites::kTraverse);
+    while (cur != nullptr) {
+      Node* next = tm_read(tx, &cur->next, list_sites::kTraverse);
+      tx_free(tx, cur);
+      cur = next;
+    }
+    tm_write(tx, &head_.next, static_cast<Node*>(nullptr), list_sites::kLink);
+    tm_write(tx, &size_, std::size_t{0}, list_sites::kSize);
+  }
+
+  // -- STAMP-style iteration (Figure 1(a)). The Iterator object must live
+  //    inside the atomic block; its fields are then transaction-local.
+  void iter_reset(Tx& tx, Iterator* it) {
+    tm_write(tx, &it->cur, tm_read(tx, &head_.next, list_sites::kTraverse),
+             list_sites::kIter);
+  }
+
+  bool iter_has_next(Tx& tx, Iterator* it) {
+    return tm_read(tx, &it->cur, list_sites::kIter) != nullptr;
+  }
+
+  T iter_next(Tx& tx, Iterator* it) {
+    Node* cur = tm_read(tx, &it->cur, list_sites::kIter);
+    const T v = tm_read(tx, &cur->value, list_sites::kTraverse);
+    tm_write(tx, &it->cur, tm_read(tx, &cur->next, list_sites::kTraverse),
+             list_sites::kIter);
+    return v;
+  }
+
+ private:
+  Node head_{T{}, nullptr};
+  std::size_t size_ = 0;
+  bool allow_duplicates_;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace cstm

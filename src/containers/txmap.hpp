@@ -1,0 +1,253 @@
+// Transactional ordered map (STAMP lib/rbtree equivalent).
+//
+// Implemented as a treap: rotations are local and parent-pointer-free,
+// which keeps the transactional implementation auditable while preserving
+// the balanced-BST access profile the paper's benchmarks exercise
+// (traversal reads are shared/manual; node initialization after tx_malloc
+// is captured; structural link writes are shared/manual). Priorities come
+// from a thread-local PRNG, making balance independent of insertion order
+// (vacation inserts sequential ids at setup).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm {
+
+namespace map_sites {
+inline constexpr Site kNodeInit{"map.node.init", false, true};
+inline constexpr Site kLink{"map.link", true, false};
+inline constexpr Site kTraverse{"map.traverse", true, false};
+inline constexpr Site kSize{"map.size", true, false};
+}  // namespace map_sites
+
+template <typename K, typename V, typename Compare = std::less<K>>
+  requires TmValue<K> && TmValue<V>
+class TxMap {
+ public:
+  TxMap() = default;
+  ~TxMap() { destroy(root_); }
+  TxMap(const TxMap&) = delete;
+  TxMap& operator=(const TxMap&) = delete;
+
+  /// Inserts (k, v); returns false (no change) if the key exists.
+  bool insert(Tx& tx, const K& k, const V& v) {
+    bool inserted = false;
+    Node* old_root = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* new_root = insert_rec(tx, old_root, k, v, &inserted);
+    if (new_root != old_root) tm_write(tx, &root_, new_root, map_sites::kLink);
+    if (inserted) tm_add(tx, &size_, std::size_t{1}, map_sites::kSize);
+    return inserted;
+  }
+
+  /// Inserts or overwrites.
+  void put(Tx& tx, const K& k, const V& v) {
+    if (Node* n = find_node(tx, k)) {
+      tm_write(tx, &n->value, v, map_sites::kLink);
+      return;
+    }
+    insert(tx, k, v);
+  }
+
+  bool erase(Tx& tx, const K& k) {
+    bool erased = false;
+    Node* old_root = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* new_root = erase_rec(tx, old_root, k, &erased);
+    if (new_root != old_root) tm_write(tx, &root_, new_root, map_sites::kLink);
+    if (erased) tm_add(tx, &size_, static_cast<std::size_t>(-1), map_sites::kSize);
+    return erased;
+  }
+
+  bool find(Tx& tx, const K& k, V* out = nullptr) {
+    if (Node* n = find_node(tx, k)) {
+      if (out != nullptr) *out = tm_read(tx, &n->value, map_sites::kTraverse);
+      return true;
+    }
+    return false;
+  }
+
+  bool contains(Tx& tx, const K& k) { return find(tx, k, nullptr); }
+
+  /// Greatest key <= k (floor query, used by reservation pricing sweeps).
+  bool find_floor(Tx& tx, const K& k, K* key_out, V* val_out = nullptr) {
+    Node* cur = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* best = nullptr;
+    while (cur != nullptr) {
+      const K ck = tm_read(tx, &cur->key, map_sites::kTraverse);
+      if (cmp_(k, ck)) {
+        cur = tm_read(tx, &cur->left, map_sites::kTraverse);
+      } else {
+        best = cur;
+        cur = tm_read(tx, &cur->right, map_sites::kTraverse);
+      }
+    }
+    if (best == nullptr) return false;
+    if (key_out != nullptr) *key_out = tm_read(tx, &best->key, map_sites::kTraverse);
+    if (val_out != nullptr) *val_out = tm_read(tx, &best->value, map_sites::kTraverse);
+    return true;
+  }
+
+  std::size_t size(Tx& tx) { return tm_read(tx, &size_, map_sites::kSize); }
+  bool empty(Tx& tx) { return size(tx) == 0; }
+
+  /// Sequential (non-transactional) in-order visit for verification code.
+  template <typename F>
+  void for_each_sequential(F&& f) const {
+    visit(root_, f);
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    std::uint64_t prio;
+    Node* left;
+    Node* right;
+  };
+
+  static std::uint64_t draw_priority() {
+    thread_local Xoshiro256 rng(0x7a3e9f5ull ^
+                                reinterpret_cast<std::uintptr_t>(&rng));
+    return rng.next();
+  }
+
+  Node* find_node(Tx& tx, const K& k) {
+    Node* cur = tm_read(tx, &root_, map_sites::kTraverse);
+    while (cur != nullptr) {
+      const K ck = tm_read(tx, &cur->key, map_sites::kTraverse);
+      if (cmp_(k, ck)) {
+        cur = tm_read(tx, &cur->left, map_sites::kTraverse);
+      } else if (cmp_(ck, k)) {
+        cur = tm_read(tx, &cur->right, map_sites::kTraverse);
+      } else {
+        return cur;
+      }
+    }
+    return nullptr;
+  }
+
+  Node* insert_rec(Tx& tx, Node* n, const K& k, const V& v, bool* inserted) {
+    if (n == nullptr) {
+      Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
+      tm_write(tx, &node->key, k, map_sites::kNodeInit);
+      tm_write(tx, &node->value, v, map_sites::kNodeInit);
+      tm_write(tx, &node->prio, draw_priority(), map_sites::kNodeInit);
+      tm_write(tx, &node->left, static_cast<Node*>(nullptr), map_sites::kNodeInit);
+      tm_write(tx, &node->right, static_cast<Node*>(nullptr), map_sites::kNodeInit);
+      *inserted = true;
+      return node;
+    }
+    const K nk = tm_read(tx, &n->key, map_sites::kTraverse);
+    if (cmp_(k, nk)) {
+      Node* old = tm_read(tx, &n->left, map_sites::kTraverse);
+      Node* child = insert_rec(tx, old, k, v, inserted);
+      if (child != old) tm_write(tx, &n->left, child, map_sites::kLink);
+      if (*inserted && prio_of(tx, child) > prio_of(tx, n)) {
+        return rotate_right(tx, n, child);
+      }
+    } else if (cmp_(nk, k)) {
+      Node* old = tm_read(tx, &n->right, map_sites::kTraverse);
+      Node* child = insert_rec(tx, old, k, v, inserted);
+      if (child != old) tm_write(tx, &n->right, child, map_sites::kLink);
+      if (*inserted && prio_of(tx, child) > prio_of(tx, n)) {
+        return rotate_left(tx, n, child);
+      }
+    }
+    return n;  // equal key: no change
+  }
+
+  Node* erase_rec(Tx& tx, Node* n, const K& k, bool* erased) {
+    if (n == nullptr) return nullptr;
+    const K nk = tm_read(tx, &n->key, map_sites::kTraverse);
+    if (cmp_(k, nk)) {
+      Node* old = tm_read(tx, &n->left, map_sites::kTraverse);
+      Node* child = erase_rec(tx, old, k, erased);
+      if (child != old) tm_write(tx, &n->left, child, map_sites::kLink);
+      return n;
+    }
+    if (cmp_(nk, k)) {
+      Node* old = tm_read(tx, &n->right, map_sites::kTraverse);
+      Node* child = erase_rec(tx, old, k, erased);
+      if (child != old) tm_write(tx, &n->right, child, map_sites::kLink);
+      return n;
+    }
+    *erased = true;
+    return unlink(tx, n);
+  }
+
+  /// Rotates @p n to a leaf by priority, detaches and frees it; returns the
+  /// subtree that replaces it.
+  Node* unlink(Tx& tx, Node* n) {
+    Node* l = tm_read(tx, &n->left, map_sites::kTraverse);
+    Node* r = tm_read(tx, &n->right, map_sites::kTraverse);
+    if (l == nullptr && r == nullptr) {
+      tx_free(tx, n);
+      return nullptr;
+    }
+    if (l == nullptr) {
+      tx_free(tx, n);
+      return r;
+    }
+    if (r == nullptr) {
+      tx_free(tx, n);
+      return l;
+    }
+    if (prio_of(tx, l) > prio_of(tx, r)) {
+      // Rotate right: l up, n descends into l's right subtree.
+      Node* lr = tm_read(tx, &l->right, map_sites::kTraverse);
+      tm_write(tx, &n->left, lr, map_sites::kLink);
+      Node* repl = unlink(tx, n);
+      tm_write(tx, &l->right, repl, map_sites::kLink);
+      return l;
+    }
+    Node* rl = tm_read(tx, &r->left, map_sites::kTraverse);
+    tm_write(tx, &n->right, rl, map_sites::kLink);
+    Node* repl = unlink(tx, n);
+    tm_write(tx, &r->left, repl, map_sites::kLink);
+    return r;
+  }
+
+  std::uint64_t prio_of(Tx& tx, Node* n) {
+    return tm_read(tx, &n->prio, map_sites::kTraverse);
+  }
+
+  /// child == n->left, child's priority beats n's: child becomes the root.
+  Node* rotate_right(Tx& tx, Node* n, Node* child) {
+    Node* cr = tm_read(tx, &child->right, map_sites::kTraverse);
+    tm_write(tx, &n->left, cr, map_sites::kLink);
+    tm_write(tx, &child->right, n, map_sites::kLink);
+    return child;
+  }
+
+  Node* rotate_left(Tx& tx, Node* n, Node* child) {
+    Node* cl = tm_read(tx, &child->left, map_sites::kTraverse);
+    tm_write(tx, &n->right, cl, map_sites::kLink);
+    tm_write(tx, &child->left, n, map_sites::kLink);
+    return child;
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    Pool::deallocate(n);
+  }
+
+  template <typename F>
+  static void visit(const Node* n, F&& f) {
+    if (n == nullptr) return;
+    visit(n->left, f);
+    f(n->key, n->value);
+    visit(n->right, f);
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace cstm

@@ -1,0 +1,80 @@
+// Transactional FIFO queue (STAMP lib/queue equivalent), linked
+// implementation: enqueue allocates a node inside the transaction, so node
+// initialization is captured — the same over-instrumentation profile as the
+// list.
+#pragma once
+
+#include <cstddef>
+
+#include "stm/stm.hpp"
+
+namespace cstm {
+
+namespace queue_sites {
+inline constexpr Site kNodeInit{"queue.node.init", false, true};
+inline constexpr Site kLink{"queue.link", true, false};
+inline constexpr Site kSize{"queue.size", true, false};
+}  // namespace queue_sites
+
+template <typename T>
+  requires TmValue<T>
+class TxQueue {
+ public:
+  TxQueue() = default;
+  ~TxQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      Pool::deallocate(n);
+      n = next;
+    }
+  }
+  TxQueue(const TxQueue&) = delete;
+  TxQueue& operator=(const TxQueue&) = delete;
+
+  void push(Tx& tx, const T& v) {
+    Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
+    tm_write(tx, &node->value, v, queue_sites::kNodeInit);
+    tm_write(tx, &node->next, static_cast<Node*>(nullptr),
+             queue_sites::kNodeInit);
+    Node* tail = tm_read(tx, &tail_, queue_sites::kLink);
+    if (tail == nullptr) {
+      tm_write(tx, &head_, node, queue_sites::kLink);
+    } else {
+      tm_write(tx, &tail->next, node, queue_sites::kLink);
+    }
+    tm_write(tx, &tail_, node, queue_sites::kLink);
+    tm_add(tx, &size_, std::size_t{1}, queue_sites::kSize);
+  }
+
+  /// Pops the front element into *out; false when empty.
+  bool pop(Tx& tx, T* out) {
+    Node* head = tm_read(tx, &head_, queue_sites::kLink);
+    if (head == nullptr) return false;
+    *out = tm_read(tx, &head->value, queue_sites::kLink);
+    Node* next = tm_read(tx, &head->next, queue_sites::kLink);
+    tm_write(tx, &head_, next, queue_sites::kLink);
+    if (next == nullptr) {
+      tm_write(tx, &tail_, static_cast<Node*>(nullptr), queue_sites::kLink);
+    }
+    tm_add(tx, &size_, static_cast<std::size_t>(-1), queue_sites::kSize);
+    tx_free(tx, head);
+    return true;
+  }
+
+  bool empty(Tx& tx) {
+    return tm_read(tx, &head_, queue_sites::kLink) == nullptr;
+  }
+  std::size_t size(Tx& tx) { return tm_read(tx, &size_, queue_sites::kSize); }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cstm

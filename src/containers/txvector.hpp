@@ -1,0 +1,83 @@
+// Transactional growable array (STAMP lib/vector equivalent).
+//
+// push_back growth allocates the new backing store inside the transaction
+// and copies into it — the copy targets captured memory, which is exactly
+// the query-vector pattern of the paper's Figure 1(b).
+#pragma once
+
+#include <cstddef>
+
+#include "stm/stm.hpp"
+
+namespace cstm {
+
+namespace vector_sites {
+inline constexpr Site kGrowCopy{"vector.grow.copy", false, true};
+inline constexpr Site kData{"vector.data", true, false};
+inline constexpr Site kMeta{"vector.meta", true, false};
+}  // namespace vector_sites
+
+template <typename T>
+  requires TmValue<T>
+class TxVector {
+ public:
+  explicit TxVector(std::size_t initial_capacity = 8) {
+    capacity_ = initial_capacity < 2 ? 2 : initial_capacity;
+    data_ = static_cast<T*>(
+        Pool::local().allocate(capacity_ * sizeof(T)));
+  }
+  ~TxVector() { Pool::deallocate(data_); }
+  TxVector(const TxVector&) = delete;
+  TxVector& operator=(const TxVector&) = delete;
+
+  void push_back(Tx& tx, const T& v) {
+    const std::size_t n = tm_read(tx, &size_, vector_sites::kMeta);
+    std::size_t cap = tm_read(tx, &capacity_, vector_sites::kMeta);
+    T* data = tm_read(tx, &data_, vector_sites::kMeta);
+    if (n == cap) {
+      cap *= 2;
+      T* bigger = static_cast<T*>(tx_malloc(tx, cap * sizeof(T)));
+      for (std::size_t i = 0; i < n; ++i) {
+        // Copy into freshly captured memory (Figure 1(b) profile).
+        tm_write(tx, &bigger[i], tm_read(tx, &data[i], vector_sites::kData),
+                 vector_sites::kGrowCopy);
+      }
+      tx_free(tx, data);
+      tm_write(tx, &data_, bigger, vector_sites::kMeta);
+      tm_write(tx, &capacity_, cap, vector_sites::kMeta);
+      data = bigger;
+    }
+    tm_write(tx, &data[n], v, vector_sites::kData);
+    tm_write(tx, &size_, n + 1, vector_sites::kMeta);
+  }
+
+  T at(Tx& tx, std::size_t i) {
+    T* data = tm_read(tx, &data_, vector_sites::kMeta);
+    return tm_read(tx, &data[i], vector_sites::kData);
+  }
+
+  void set(Tx& tx, std::size_t i, const T& v) {
+    T* data = tm_read(tx, &data_, vector_sites::kMeta);
+    tm_write(tx, &data[i], v, vector_sites::kData);
+  }
+
+  std::size_t size(Tx& tx) { return tm_read(tx, &size_, vector_sites::kMeta); }
+  bool empty(Tx& tx) { return size(tx) == 0; }
+  void clear(Tx& tx) { tm_write(tx, &size_, std::size_t{0}, vector_sites::kMeta); }
+
+  /// Removes and returns the last element (precondition: non-empty).
+  T pop_back(Tx& tx) {
+    const std::size_t n = tm_read(tx, &size_, vector_sites::kMeta);
+    T* data = tm_read(tx, &data_, vector_sites::kMeta);
+    const T v = tm_read(tx, &data[n - 1], vector_sites::kData);
+    tm_write(tx, &size_, n - 1, vector_sites::kMeta);
+    return v;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace cstm

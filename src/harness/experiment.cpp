@@ -1,0 +1,238 @@
+#include "harness/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "stm/stm.hpp"
+#include "support/stats.hpp"
+
+namespace cstm::harness {
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      opt.scale = std::atof(need_value("--scale"));
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      opt.reps = std::atoi(need_value("--reps"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opt.threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale S] [--reps N] [--threads T] [--seed X]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+RunResult run_once(const std::string& app, int threads, const TxConfig& cfg,
+                   const Options& opt) {
+  set_global_config(cfg);
+  auto instance = stamp::make_app(app);
+  stamp::AppParams params;
+  params.threads = threads;
+  params.seed = opt.seed;
+  params.scale = opt.scale;
+  stats_reset();
+  RunResult result;
+  result.seconds = stamp::run_app(*instance, params);
+  result.stats = stats_snapshot();
+  set_global_config(TxConfig::baseline());
+  return result;
+}
+
+std::vector<std::pair<std::string, TxConfig>> table_configs() {
+  return {
+      {"baseline", TxConfig::baseline()},
+      {"tree", TxConfig::runtime_rw(AllocLogKind::kTree)},
+      {"array", TxConfig::runtime_rw(AllocLogKind::kArray)},
+      {"filtering", TxConfig::runtime_rw(AllocLogKind::kFilter)},
+      {"compiler", TxConfig::compiler()},
+  };
+}
+
+namespace {
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+double median_seconds(const std::string& app, int threads, const TxConfig& cfg,
+                      const Options& opt, TxStats* stats_out = nullptr) {
+  std::vector<double> times;
+  TxStats last;
+  for (int r = 0; r < opt.reps; ++r) {
+    const RunResult res = run_once(app, threads, cfg, opt);
+    times.push_back(res.seconds);
+    last = res.stats;
+  }
+  std::sort(times.begin(), times.end());
+  if (stats_out != nullptr) *stats_out = last;
+  return times[times.size() / 2];
+}
+
+void print_speedup_header() {
+  std::printf("%-15s", "app");
+}
+
+}  // namespace
+
+void fig8_breakdown(const Options& opt) {
+  std::printf("# Figure 8: breakdown of compiler-inserted STM barriers (1 thread)\n");
+  std::printf("# categories: captured-heap / captured-stack / not-required-other / required\n");
+  std::printf("%-15s %10s %8s %8s %8s %8s   %10s %8s %8s %8s %8s\n", "app",
+              "reads", "heap%", "stack%", "other%", "req%", "writes", "heap%",
+              "stack%", "other%", "req%");
+  TxStats all_sum;
+  for (const auto& app : stamp::app_names()) {
+    const RunResult res = run_once(app, 1, TxConfig::counting(), opt);
+    const TxStats& s = res.stats;
+    std::printf("%-15s %10llu %8.1f %8.1f %8.1f %8.1f   %10llu %8.1f %8.1f %8.1f %8.1f\n",
+                app.c_str(),
+                static_cast<unsigned long long>(s.reads),
+                pct(s.read_cap_heap, s.reads), pct(s.read_cap_stack, s.reads),
+                pct(s.read_not_required, s.reads), pct(s.read_required, s.reads),
+                static_cast<unsigned long long>(s.writes),
+                pct(s.write_cap_heap, s.writes), pct(s.write_cap_stack, s.writes),
+                pct(s.write_not_required, s.writes),
+                pct(s.write_required, s.writes));
+    all_sum.add(s);
+  }
+  const std::uint64_t accesses = all_sum.reads + all_sum.writes;
+  std::printf("%-15s %10llu  combined: heap+stack %.1f%%, other %.1f%%, required %.1f%%\n",
+              "ALL", static_cast<unsigned long long>(accesses),
+              pct(all_sum.read_cap_heap + all_sum.read_cap_stack +
+                      all_sum.write_cap_heap + all_sum.write_cap_stack,
+                  accesses),
+              pct(all_sum.read_not_required + all_sum.write_not_required, accesses),
+              pct(all_sum.read_required + all_sum.write_required, accesses));
+}
+
+void fig9_removed(const Options& opt) {
+  std::printf("# Figure 9: portion of barriers removed by each technique (1 thread)\n");
+  const std::vector<std::pair<std::string, TxConfig>> techniques = {
+      {"tree", TxConfig::runtime_rw(AllocLogKind::kTree)},
+      {"array", TxConfig::runtime_rw(AllocLogKind::kArray)},
+      {"filtering", TxConfig::runtime_rw(AllocLogKind::kFilter)},
+      {"compiler", TxConfig::compiler()},
+  };
+  std::printf("%-15s", "app");
+  for (const auto& [name, cfg] : techniques) {
+    std::printf(" %9s-R %9s-W", name.c_str(), name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& app : stamp::app_names()) {
+    std::printf("%-15s", app.c_str());
+    for (const auto& [name, cfg] : techniques) {
+      const RunResult res = run_once(app, 1, cfg, opt);
+      const TxStats& s = res.stats;
+      std::printf(" %10.1f%% %10.1f%%", pct(s.read_elided(), s.reads),
+                  pct(s.write_elided(), s.writes));
+    }
+    std::printf("\n");
+  }
+}
+
+namespace {
+
+void speedup_table(const Options& opt, int threads,
+                   const std::vector<std::pair<std::string, TxConfig>>& configs) {
+  print_speedup_header();
+  for (const auto& [name, cfg] : configs) std::printf(" %14s", name.c_str());
+  std::printf("\n");
+  for (const auto& app : stamp::app_names()) {
+    const double base = median_seconds(app, threads, TxConfig::baseline(), opt);
+    std::printf("%-15s", app.c_str());
+    for (const auto& [name, cfg] : configs) {
+      const double t = median_seconds(app, threads, cfg, opt);
+      const double improvement = (base / t - 1.0) * 100.0;
+      std::printf(" %13.1f%%", improvement);
+    }
+    std::printf("  (baseline %.4fs)\n", base);
+  }
+}
+
+}  // namespace
+
+void fig10_single_thread(const Options& opt) {
+  std::printf("# Figure 10: performance improvement over baseline at 1 thread\n");
+  std::printf("# positive = faster than baseline, negative = runtime-check overhead\n");
+  speedup_table(opt, 1,
+                {{"rt-stack+heap-RW", TxConfig::runtime_rw()},
+                 {"rt-stack+heap-W", TxConfig::runtime_w()},
+                 {"rt-heap-W", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
+                 {"compiler", TxConfig::compiler()}});
+}
+
+void fig11a_configs(const Options& opt) {
+  std::printf("# Figure 11(a): improvement over baseline at %d threads (runtime tree configs + compiler)\n",
+              opt.threads);
+  speedup_table(opt, opt.threads,
+                {{"rt-stack+heap-RW", TxConfig::runtime_rw()},
+                 {"rt-stack+heap-W", TxConfig::runtime_w()},
+                 {"rt-heap-W", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
+                 {"compiler", TxConfig::compiler()}});
+}
+
+void fig11b_structures(const Options& opt) {
+  std::printf("# Figure 11(b): improvement over baseline at %d threads\n", opt.threads);
+  std::printf("# runtime checks: write barriers only, transaction-local heap only\n");
+  speedup_table(opt, opt.threads,
+                {{"tree", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
+                 {"array", TxConfig::runtime_heap_w(AllocLogKind::kArray)},
+                 {"filter", TxConfig::runtime_heap_w(AllocLogKind::kFilter)},
+                 {"compiler", TxConfig::compiler()}});
+}
+
+void table1_aborts(const Options& opt) {
+  std::printf("# Table 1: abort-to-commit ratio at %d threads\n", opt.threads);
+  std::printf("%-15s", "app");
+  for (const auto& [name, cfg] : table_configs()) std::printf(" %10s", name.c_str());
+  std::printf("\n");
+  for (const auto& app : stamp::app_names()) {
+    std::printf("%-15s", app.c_str());
+    for (const auto& [name, cfg] : table_configs()) {
+      const RunResult res = run_once(app, opt.threads, cfg, opt);
+      std::printf(" %10.2f", res.stats.abort_to_commit_ratio());
+    }
+    std::printf("\n");
+  }
+}
+
+void table2_variance(const Options& opt) {
+  const int reps = opt.reps < 5 ? 5 : opt.reps;  // the paper uses 5 runs
+  std::printf("# Table 2: percent relative standard deviation over %d runs at %d threads\n",
+              reps, opt.threads);
+  std::printf("%-15s", "app");
+  for (const auto& [name, cfg] : table_configs()) std::printf(" %10s", name.c_str());
+  std::printf("\n");
+  for (const auto& app : stamp::app_names()) {
+    std::printf("%-15s", app.c_str());
+    for (const auto& [name, cfg] : table_configs()) {
+      std::vector<double> times;
+      for (int r = 0; r < reps; ++r) {
+        times.push_back(run_once(app, opt.threads, cfg, opt).seconds);
+      }
+      const Summary s = summarize(times);
+      std::printf(" %10.2f", s.rsd_percent);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace cstm::harness

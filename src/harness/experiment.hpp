@@ -1,0 +1,49 @@
+// Experiment driver: runs the STAMP applications under the paper's STM
+// configurations and prints each table/figure of Section 4. One bench
+// binary per experiment calls exactly one of these printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stamp/app.hpp"
+#include "stm/config.hpp"
+#include "stm/stats.hpp"
+
+namespace cstm::harness {
+
+struct Options {
+  double scale = 0.25;  // CI-sized by default; --scale 1 approaches paper-size
+  int reps = 3;
+  int threads = 16;     // the paper's maximum thread count
+  std::uint64_t seed = 20090811;
+};
+
+/// Parses --scale/--reps/--threads/--seed; unknown flags abort with usage.
+Options parse_options(int argc, char** argv);
+
+struct RunResult {
+  double seconds = 0.0;
+  TxStats stats;
+};
+
+/// One complete benchmark execution under @p cfg. Installs the config,
+/// resets statistics, runs, and collects the stats snapshot.
+RunResult run_once(const std::string& app, int threads, const TxConfig& cfg,
+                   const Options& opt);
+
+/// The five named configurations of Tables 1-2 (baseline, tree, array,
+/// filter, compiler) in paper order.
+std::vector<std::pair<std::string, TxConfig>> table_configs();
+
+// -- Experiment printers (paper Section 4) -----------------------------------
+void fig8_breakdown(const Options& opt);        // Figure 8 (a, b, c)
+void fig9_removed(const Options& opt);          // Figure 9 (a, b)
+void fig10_single_thread(const Options& opt);   // Figure 10
+void fig11a_configs(const Options& opt);        // Figure 11 (a)
+void fig11b_structures(const Options& opt);     // Figure 11 (b)
+void table1_aborts(const Options& opt);         // Table 1
+void table2_variance(const Options& opt);       // Table 2
+
+}  // namespace cstm::harness

@@ -1,0 +1,71 @@
+#include "stamp/app.hpp"
+
+#include <barrier>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "stamp/bayes/bayes.hpp"
+#include "stamp/genome/genome.hpp"
+#include "stamp/intruder/intruder.hpp"
+#include "stamp/kmeans/kmeans.hpp"
+#include "stamp/labyrinth/labyrinth.hpp"
+#include "stamp/ssca2/ssca2.hpp"
+#include "stamp/vacation/vacation.hpp"
+#include "stamp/yada/yada.hpp"
+#include "support/timer.hpp"
+
+namespace cstm::stamp {
+
+std::unique_ptr<App> make_app(const std::string& name) {
+  if (name == "bayes") return std::make_unique<BayesApp>();
+  if (name == "genome") return std::make_unique<GenomeApp>();
+  if (name == "intruder") return std::make_unique<IntruderApp>();
+  if (name == "kmeans-high") return std::make_unique<KmeansApp>(true);
+  if (name == "kmeans-low") return std::make_unique<KmeansApp>(false);
+  if (name == "labyrinth") return std::make_unique<LabyrinthApp>();
+  if (name == "ssca2") return std::make_unique<Ssca2App>();
+  if (name == "vacation-high") return std::make_unique<VacationApp>(true);
+  if (name == "vacation-low") return std::make_unique<VacationApp>(false);
+  if (name == "yada") return std::make_unique<YadaApp>();
+  throw std::out_of_range("unknown app: " + name);
+}
+
+const std::vector<std::string>& app_names() {
+  static const std::vector<std::string> names = {
+      "bayes",     "genome",       "intruder",     "kmeans-high",
+      "kmeans-low", "labyrinth",   "ssca2",        "vacation-high",
+      "vacation-low", "yada"};
+  return names;
+}
+
+double run_app(App& app, const AppParams& params) {
+  app.setup(params);
+  const int n = params.threads;
+  double elapsed = 0.0;
+  Timer timer;
+  std::barrier sync(n + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      sync.arrive_and_wait();  // line up
+      app.worker(tid);
+      sync.arrive_and_wait();  // all done
+    });
+  }
+  sync.arrive_and_wait();
+  timer.reset();
+  sync.arrive_and_wait();
+  elapsed = timer.seconds();
+  for (auto& t : threads) t.join();
+  if (!app.verify()) {
+    std::fprintf(stderr, "FATAL: %s failed verification (threads=%d)\n",
+                 app.name(), n);
+    std::abort();
+  }
+  return elapsed;
+}
+
+}  // namespace cstm::stamp

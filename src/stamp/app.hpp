@@ -1,0 +1,53 @@
+// Benchmark application framework for the STAMP reimplementations.
+//
+// Each application is a fresh object per run: setup() builds the input
+// sequentially (untimed), worker() is executed by every thread (timed),
+// verify() checks application invariants afterwards. The ten registered
+// configurations match the rows of the paper's Tables 1-2: bayes, genome,
+// intruder, kmeans-high, kmeans-low, labyrinth, ssca2, vacation-high,
+// vacation-low, yada.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cstm::stamp {
+
+struct AppParams {
+  int threads = 1;
+  std::uint64_t seed = 20090811;  // SPAA'09 started Aug 11, 2009
+  double scale = 1.0;             // workload multiplier (1.0 = CI-sized)
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+  virtual const char* name() const = 0;
+
+  /// Builds input data. Runs sequentially before timing starts.
+  virtual void setup(const AppParams& params) = 0;
+
+  /// The timed parallel region; called concurrently by params.threads
+  /// threads with tid in [0, threads).
+  virtual void worker(int tid) = 0;
+
+  /// Post-run invariant check (sequential).
+  virtual bool verify() = 0;
+};
+
+/// Instantiates a registered application by name; throws std::out_of_range
+/// for unknown names.
+std::unique_ptr<App> make_app(const std::string& name);
+
+/// The ten paper benchmark rows, in the paper's table order.
+const std::vector<std::string>& app_names();
+
+/// Runs one complete execution of @p app under the *current* global STM
+/// configuration and returns the elapsed wall-clock seconds of the parallel
+/// region. Aborts the process with a diagnostic if verify() fails — a
+/// benchmark that computes wrong answers must never report a time.
+double run_app(App& app, const AppParams& params);
+
+}  // namespace cstm::stamp

@@ -1,0 +1,145 @@
+#include "stamp/bayes/bayes.hpp"
+
+#include "capture/private_registry.hpp"
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm::stamp {
+
+namespace sites {
+inline constexpr Site kCounter{"bayes.counter", true, false};
+// Thread-local query vector (Figure 1(b)): elidable only via annotations.
+inline constexpr Site kQueryVec{"bayes.query.vec", false, false};
+}  // namespace sites
+
+namespace {
+constexpr std::uint64_t pack_task(std::uint64_t score, std::uint64_t var) {
+  return (score << 24) | var;
+}
+constexpr std::uint64_t task_var(std::uint64_t t) { return t & 0xffffffu; }
+}  // namespace
+
+void BayesApp::setup(const AppParams& params) {
+  params_ = params;
+  num_vars_ = static_cast<std::size_t>(96 * params.scale);
+  if (num_vars_ < 24) num_vars_ = 24;
+  initial_tasks_ = num_vars_ * 24;
+
+  Xoshiro256 rng(params.seed);
+  records_.resize(num_vars_ * 16);
+  for (auto& r : records_) r = rng.next();
+
+  task_list_ = std::make_unique<TxList<std::uint64_t>>(/*allow_duplicates=*/true);
+  parents_.clear();
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    parents_.push_back(std::make_unique<TxList<std::uint64_t>>());
+  }
+  Tx& tx = current_tx();
+  for (std::size_t t = 0; t < initial_tasks_; ++t) {
+    task_list_->insert(
+        tx, pack_task(rng.below(1u << 20), rng.below(num_vars_)));
+  }
+  tasks_created_ = initial_tasks_;
+  tasks_done_ = 0;
+  arcs_added_ = 0;
+}
+
+void BayesApp::worker(int tid) {
+  Xoshiro256 rng(params_.seed * 31 + static_cast<std::uint64_t>(tid));
+
+  // Figure 1(b): a per-thread query vector, annotated as private so the
+  // annotation-aware runtime elides its barriers.
+  std::uint64_t query_vector[kQueryVectorWords] = {};
+  add_private_memory_block(query_vector, sizeof(query_vector));
+
+  for (;;) {
+    std::uint64_t task = 0;
+    bool got = false;
+    bool finished = false;
+    // Figure 1(a), verbatim structure: iterator on the transaction-local
+    // stack; the learner scans a window of the task list for the
+    // best-scoring task before removing it (as STAMP's learner does).
+    atomic([&](Tx& tx) {
+      got = false;
+      finished = false;
+      typename TxList<std::uint64_t>::Iterator it;
+      std::uint64_t best = 0;
+      std::uint64_t scanned = 0;
+      task_list_->iter_reset(tx, &it);
+      while (task_list_->iter_has_next(tx, &it) && scanned < 32) {
+        const std::uint64_t cand = task_list_->iter_next(tx, &it);
+        // The running best lives on the transaction-local stack too.
+        if (cand >= tm_read(tx, &best, kAutoCapturedSite)) {
+          tm_write(tx, &best, cand, kAutoCapturedSite);
+        }
+        ++scanned;
+      }
+      if (scanned > 0) {
+        task = tm_read(tx, &best, kAutoCapturedSite);
+        got = task_list_->remove(tx, task);
+      } else if (tm_read(tx, &tasks_done_, sites::kCounter) ==
+                 tm_read(tx, &tasks_created_, sites::kCounter)) {
+        finished = true;
+      }
+    });
+    if (finished) break;
+    if (!got) continue;  // raced with another learner; rescan
+
+    const std::uint64_t var = task_var(task);
+
+    // Score the candidate parent: populate the private query vector and
+    // compute a local log-likelihood surrogate over the read-only records.
+    std::uint64_t parent = 0;
+    std::uint64_t score = 0;
+    atomic([&](Tx& tx) {
+      for (std::size_t i = 0; i < kQueryVectorWords; ++i) {
+        tm_write(tx, &query_vector[i],
+                 records_[(var * 16 + i) % records_.size()],
+                 sites::kQueryVec);
+      }
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < kQueryVectorWords; ++i) {
+        acc ^= tm_read(tx, &query_vector[i], sites::kQueryVec) * (i + 1);
+      }
+      parent = acc % num_vars_;
+      score = acc >> 44;
+    });
+
+    // Apply: add the parent arc if absent and acyclic-by-ordering (parent
+    // id must be smaller — a cheap DAG guarantee), occasionally spawning a
+    // follow-up refinement task.
+    const bool spawn = rng.below(8) == 0;
+    atomic([&](Tx& tx) {
+      if (parent < var && parents_[var]->insert(tx, parent)) {
+        tm_add(tx, &arcs_added_, std::uint64_t{1}, sites::kCounter);
+      }
+      if (spawn && tm_read(tx, &tasks_created_, sites::kCounter) <
+                       initial_tasks_ * 2) {
+        task_list_->insert(tx, pack_task(score, parent));
+        tm_add(tx, &tasks_created_, std::uint64_t{1}, sites::kCounter);
+      }
+      tm_add(tx, &tasks_done_, std::uint64_t{1}, sites::kCounter);
+    });
+  }
+
+  remove_private_memory_block(query_vector, sizeof(query_vector));
+}
+
+bool BayesApp::verify() {
+  if (tasks_done_ != tasks_created_) return false;
+  // DAG by construction: every arc must point from a smaller id.
+  Tx& tx = current_tx();
+  bool ok = true;
+  std::uint64_t arcs = 0;
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    typename TxList<std::uint64_t>::Iterator it;
+    parents_[v]->iter_reset(tx, &it);
+    while (parents_[v]->iter_has_next(tx, &it)) {
+      if (parents_[v]->iter_next(tx, &it) >= v) ok = false;
+      ++arcs;
+    }
+  }
+  return ok && arcs == arcs_added_ && task_list_->empty(tx);
+}
+
+}  // namespace cstm::stamp

@@ -1,0 +1,42 @@
+// genome: gene sequencing by segment deduplication and matching (STAMP
+// genome reimplementation, simplified phase structure).
+//
+// Segments are 16-nucleotide windows packed into uint64 keys (2 bits per
+// base). Phase 1 deduplicates segments into a transactional hash table —
+// insert-heavy, so node initialization dominates (captured memory). Phase 2
+// claims every sampled segment position exactly once through a
+// transactional bitmap and cross-checks it against the unique-segment
+// table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "containers/txbitmap.hpp"
+#include "containers/txhashtable.hpp"
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class GenomeApp : public App {
+ public:
+  const char* name() const override { return "genome"; }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+
+ private:
+  static constexpr int kSegmentLength = 16;
+
+  AppParams params_;
+  std::size_t gene_length_ = 0;
+  std::size_t num_segments_ = 0;
+  std::vector<std::uint8_t> gene_;            // bases, 0..3
+  std::vector<std::uint64_t> segments_;       // packed sampled segments
+  std::size_t reference_unique_ = 0;          // sequential ground truth
+  std::unique_ptr<TxHashtable<std::uint64_t, std::uint64_t>> unique_;
+  std::unique_ptr<TxBitmap> claimed_;
+  alignas(64) std::uint64_t matched_ = 0;     // phase-2 matches
+};
+
+}  // namespace cstm::stamp

@@ -1,0 +1,127 @@
+#include "stamp/intruder/intruder.hpp"
+
+#include <algorithm>
+
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm::stamp {
+
+namespace sites {
+inline constexpr Site kFlowField{"intruder.flow.field", true, false};
+inline constexpr Site kFlowInit{"intruder.flow.init", false, true};
+inline constexpr Site kCounter{"intruder.counter", true, false};
+}  // namespace sites
+
+namespace {
+// The attack signature scanned for in completed flows.
+constexpr std::uint8_t kSignature[] = {0xde, 0xad, 0xbe, 0xef};
+}  // namespace
+
+IntruderApp::~IntruderApp() = default;
+
+void IntruderApp::setup(const AppParams& params) {
+  params_ = params;
+  num_flows_ = static_cast<std::size_t>(2048 * params.scale);
+  if (num_flows_ < 64) num_flows_ = 64;
+  fragments_per_flow_ = 4;
+
+  Xoshiro256 rng(params.seed);
+  flow_data_.assign(num_flows_, {});
+  planted_attacks_ = 0;
+  for (std::size_t f = 0; f < num_flows_; ++f) {
+    auto& data = flow_data_[f];
+    data.resize(64 + rng.below(64));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(250));
+    if (rng.below(10) == 0) {  // plant an attack in ~10% of flows
+      const std::size_t pos = rng.below(data.size() - sizeof(kSignature));
+      std::copy(std::begin(kSignature), std::end(kSignature),
+                data.begin() + static_cast<long>(pos));
+      ++planted_attacks_;
+    }
+  }
+
+  // Interleave fragment arrivals: shuffle (flow, fragment) pairs.
+  std::vector<std::uint64_t> fragments;
+  fragments.reserve(num_flows_ * static_cast<std::size_t>(fragments_per_flow_));
+  for (std::size_t f = 0; f < num_flows_; ++f) {
+    for (int i = 0; i < fragments_per_flow_; ++i) {
+      fragments.push_back((static_cast<std::uint64_t>(f) << 16) |
+                          static_cast<std::uint64_t>(i));
+    }
+  }
+  for (std::size_t i = fragments.size(); i-- > 1;) {
+    std::swap(fragments[i], fragments[rng.below(i + 1)]);
+  }
+
+  arrivals_ = std::make_unique<TxQueue<std::uint64_t>>();
+  reassembly_ = std::make_unique<TxMap<std::uint64_t, FlowState*>>();
+  completed_ = std::make_unique<TxQueue<std::uint64_t>>();
+  attacks_found_ = 0;
+  flows_done_ = 0;
+  Tx& tx = current_tx();
+  for (const std::uint64_t frag : fragments) arrivals_->push(tx, frag);
+}
+
+void IntruderApp::worker(int /*tid*/) {
+  for (;;) {
+    std::uint64_t frag = 0;
+    bool got = false;
+    atomic([&](Tx& tx) { got = arrivals_->pop(tx, &frag); });
+    if (!got) break;
+    const std::uint64_t flow = frag >> 16;
+
+    // Reassembly transaction: per-flow state is allocated inside the
+    // transaction on first fragment (captured initialization).
+    bool complete = false;
+    atomic([&](Tx& tx) {
+      complete = false;
+      FlowState* state = nullptr;
+      if (!reassembly_->find(tx, flow, &state)) {
+        state = static_cast<FlowState*>(tx_malloc(tx, sizeof(FlowState)));
+        tm_write(tx, &state->received, std::uint64_t{0}, sites::kFlowInit);
+        tm_write(tx, &state->total,
+                 static_cast<std::uint64_t>(fragments_per_flow_),
+                 sites::kFlowInit);
+        reassembly_->insert(tx, flow, state);
+      }
+      const std::uint64_t recv =
+          tm_read(tx, &state->received, sites::kFlowField) + 1;
+      tm_write(tx, &state->received, recv, sites::kFlowField);
+      if (recv == tm_read(tx, &state->total, sites::kFlowField)) {
+        reassembly_->erase(tx, flow);
+        tx_free(tx, state);
+        completed_->push(tx, flow);
+        complete = true;
+      }
+    });
+    (void)complete;
+
+    // Detection: drain completed flows, scan outside any transaction (the
+    // flow is now exclusively ours), record findings transactionally.
+    for (;;) {
+      std::uint64_t done_flow = 0;
+      bool have = false;
+      atomic([&](Tx& tx) { have = completed_->pop(tx, &done_flow); });
+      if (!have) break;
+      const auto& data = flow_data_[done_flow];
+      const bool attack =
+          std::search(data.begin(), data.end(), std::begin(kSignature),
+                      std::end(kSignature)) != data.end();
+      atomic([&](Tx& tx) {
+        tm_add(tx, &flows_done_, std::uint64_t{1}, sites::kCounter);
+        if (attack) {
+          tm_add(tx, &attacks_found_, std::uint64_t{1}, sites::kCounter);
+        }
+      });
+    }
+  }
+}
+
+bool IntruderApp::verify() {
+  Tx& tx = current_tx();
+  return flows_done_ == num_flows_ && attacks_found_ == planted_attacks_ &&
+         reassembly_->size(tx) == 0 && completed_->empty(tx);
+}
+
+}  // namespace cstm::stamp

@@ -1,0 +1,46 @@
+// intruder: network intrusion detection (STAMP intruder reimplementation).
+//
+// Flows are fragmented; fragments arrive interleaved on a shared queue.
+// Threads pop fragments, reassemble flows in a transactional map (flow
+// state allocated inside the transaction on first fragment — captured
+// memory), and scan completed flows for a planted attack signature.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "containers/txmap.hpp"
+#include "containers/txqueue.hpp"
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class IntruderApp : public App {
+ public:
+  const char* name() const override { return "intruder"; }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+  ~IntruderApp() override;
+
+ private:
+  struct FlowState {
+    std::uint64_t received;
+    std::uint64_t total;
+  };
+
+  AppParams params_;
+  std::size_t num_flows_ = 0;
+  int fragments_per_flow_ = 0;
+  std::size_t planted_attacks_ = 0;
+
+  std::vector<std::vector<std::uint8_t>> flow_data_;  // read-only after setup
+  std::unique_ptr<TxQueue<std::uint64_t>> arrivals_;  // flow<<16 | frag
+  std::unique_ptr<TxMap<std::uint64_t, FlowState*>> reassembly_;
+  std::unique_ptr<TxQueue<std::uint64_t>> completed_;
+  alignas(64) std::uint64_t attacks_found_ = 0;
+  alignas(64) std::uint64_t flows_done_ = 0;
+};
+
+}  // namespace cstm::stamp

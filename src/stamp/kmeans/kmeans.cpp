@@ -1,0 +1,95 @@
+#include "stamp/kmeans/kmeans.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <cmath>
+
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm::stamp {
+
+namespace sites {
+// All shared-accumulator traffic: manually instrumented in original STAMP.
+inline constexpr Site kAccum{"kmeans.accum", true, false};
+}  // namespace sites
+
+void KmeansApp::setup(const AppParams& params) {
+  params_ = params;
+  num_points_ = static_cast<std::size_t>(16384 * params.scale);
+  if (num_points_ < 256) num_points_ = 256;
+  num_clusters_ = high_ ? 8 : 40;
+
+  Xoshiro256 rng(params.seed);
+  points_.resize(num_points_ * kDims);
+  for (auto& p : points_) p = static_cast<float>(rng.uniform01());
+  centers_.resize(static_cast<std::size_t>(num_clusters_) * kDims);
+  for (int c = 0; c < num_clusters_; ++c) {
+    const std::size_t p = rng.below(num_points_);
+    for (int d = 0; d < kDims; ++d) {
+      centers_[static_cast<std::size_t>(c) * kDims + d] =
+          points_[p * kDims + d];
+    }
+  }
+  new_centers_.assign(centers_.size(), 0.0f);
+  new_len_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  membership_.assign(num_points_, -1);
+  assigned_total_ = 0;
+}
+
+void KmeansApp::worker(int tid) {
+  const int threads = params_.threads;
+  const std::size_t chunk = (num_points_ + threads - 1) / threads;
+  const std::size_t begin = static_cast<std::size_t>(tid) * chunk;
+  const std::size_t end = std::min(num_points_, begin + chunk);
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::uint64_t local_assigned = 0;
+    for (std::size_t p = begin; p < end; ++p) {
+      // Nearest center: pure computation on this thread's chunk.
+      int best = 0;
+      float best_d = 1e30f;
+      for (int c = 0; c < num_clusters_; ++c) {
+        float d2 = 0.0f;
+        for (int d = 0; d < kDims; ++d) {
+          const float diff = points_[p * kDims + d] -
+                             centers_[static_cast<std::size_t>(c) * kDims + d];
+          d2 += diff * diff;
+        }
+        if (d2 < best_d) {
+          best_d = d2;
+          best = c;
+        }
+      }
+      membership_[p] = best;
+      ++local_assigned;
+      // Shared accumulator update: the transactional kernel. Floats travel
+      // through the word barriers unchanged.
+      atomic([&](Tx& tx) {
+        tm_add(tx, &new_len_[static_cast<std::size_t>(best)],
+               std::uint64_t{1}, sites::kAccum);
+        for (int d = 0; d < kDims; ++d) {
+          float* slot = &new_centers_[static_cast<std::size_t>(best) * kDims + d];
+          const float cur = tm_read(tx, slot, sites::kAccum);
+          tm_write(tx, slot, cur + points_[p * kDims + d], sites::kAccum);
+        }
+      });
+    }
+    atomic([&](Tx& tx) {
+      tm_add(tx, &assigned_total_, local_assigned, sites::kAccum);
+    });
+  }
+}
+
+bool KmeansApp::verify() {
+  // Every point was assigned in every iteration...
+  if (assigned_total_ != static_cast<std::uint64_t>(num_points_) * kIterations) {
+    return false;
+  }
+  // ...and the accumulator counts add up to points * iterations.
+  std::uint64_t total = 0;
+  for (std::uint64_t n : new_len_) total += n;
+  return total == static_cast<std::uint64_t>(num_points_) * kIterations;
+}
+
+}  // namespace cstm::stamp

@@ -1,0 +1,48 @@
+// kmeans: transactional k-means clustering (STAMP kmeans reimplementation).
+//
+// Threads scan disjoint chunks of points, find the nearest center (pure
+// computation), then update the shared new-center accumulators inside a
+// transaction. Every transactional access targets shared accumulators —
+// kmeans has essentially no capture opportunity (paper Fig. 8), so runtime
+// capture checks are pure overhead here and the paper measures a slowdown.
+//
+// High contention: few clusters (all threads fight over the same
+// accumulators). Low contention: many clusters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class KmeansApp : public App {
+ public:
+  explicit KmeansApp(bool high_contention) : high_(high_contention) {}
+
+  const char* name() const override {
+    return high_ ? "kmeans-high" : "kmeans-low";
+  }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+
+ private:
+  static constexpr int kDims = 8;
+  static constexpr int kIterations = 4;
+
+  bool high_;
+  AppParams params_;
+  std::size_t num_points_ = 0;
+  int num_clusters_ = 0;
+
+  std::vector<float> points_;          // num_points_ x kDims
+  std::vector<float> centers_;         // num_clusters_ x kDims (read-only in pass)
+  std::vector<float> new_centers_;     // shared accumulators (transactional)
+  std::vector<std::uint64_t> new_len_; // shared counts (transactional)
+  std::vector<int> membership_;        // per point, written by owner thread
+  alignas(64) std::uint64_t assigned_total_ = 0;
+};
+
+}  // namespace cstm::stamp

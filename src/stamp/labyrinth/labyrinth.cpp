@@ -1,0 +1,146 @@
+#include "stamp/labyrinth/labyrinth.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm::stamp {
+
+namespace sites {
+inline constexpr Site kGrid{"labyrinth.grid", true, false};
+inline constexpr Site kCounter{"labyrinth.counter", true, false};
+}  // namespace sites
+
+void LabyrinthApp::setup(const AppParams& params) {
+  params_ = params;
+  width_ = static_cast<std::size_t>(64 * params.scale);
+  if (width_ < 24) width_ = 24;
+  height_ = width_;
+  num_paths_ = width_;  // enough to congest the grid without saturating it
+
+  grid_.assign(width_ * height_, 0);
+  routed_ = failed_ = 0;
+
+  Xoshiro256 rng(params.seed);
+  Tx& tx = current_tx();
+  planned_.clear();
+  for (std::size_t i = 0; i < num_paths_; ++i) {
+    const auto sx = rng.below(width_);
+    const auto sy = rng.below(height_);
+    const auto dx = rng.below(width_);
+    const auto dy = rng.below(height_);
+    const std::uint32_t src = static_cast<std::uint32_t>(index(sx, sy));
+    const std::uint32_t dst = static_cast<std::uint32_t>(index(dx, dy));
+    if (src == dst) continue;
+    work_.push(tx, planned_.size());  // work item = index into planned_
+    planned_.push_back(Work{src, dst});
+  }
+}
+
+void LabyrinthApp::worker(int /*tid*/) {
+  // Thread-private grid snapshot, reused across work items (outside the
+  // transactions, exactly as the paper notes for labyrinth's manual code).
+  std::vector<std::uint64_t> snapshot(grid_.size());
+  std::vector<std::int32_t> dist(grid_.size());
+  std::deque<std::size_t> frontier;
+
+  for (;;) {
+    std::uint64_t item = 0;
+    bool got = false;
+    atomic([&](Tx& tx) { got = work_.pop(tx, &item); });
+    if (!got) return;
+    const auto src = static_cast<std::size_t>(planned_[item].src);
+    const auto dst = static_cast<std::size_t>(planned_[item].dst);
+
+    bool routed_this = false;
+    for (int attempt = 0; attempt < 3 && !routed_this; ++attempt) {
+      // Expansion phase on the private snapshot (plain loads/stores).
+      std::copy(grid_.begin(), grid_.end(), snapshot.begin());
+      std::fill(dist.begin(), dist.end(), -1);
+      frontier.clear();
+      dist[src] = 0;
+      frontier.push_back(src);
+      while (!frontier.empty() && dist[dst] < 0) {
+        const std::size_t cur = frontier.front();
+        frontier.pop_front();
+        const std::size_t x = cur % width_;
+        const std::size_t y = cur / width_;
+        const std::size_t neighbors[4] = {
+            x > 0 ? cur - 1 : cur, x + 1 < width_ ? cur + 1 : cur,
+            y > 0 ? cur - width_ : cur, y + 1 < height_ ? cur + width_ : cur};
+        for (const std::size_t nb : neighbors) {
+          if (nb == cur || dist[nb] >= 0) continue;
+          if (snapshot[nb] != 0 && nb != dst) continue;  // occupied
+          dist[nb] = dist[cur] + 1;
+          frontier.push_back(nb);
+        }
+      }
+      if (dist[dst] < 0) break;  // unreachable in snapshot: give up
+
+      // Traceback to collect the candidate path.
+      std::vector<std::size_t> path;
+      std::size_t cur = dst;
+      path.push_back(cur);
+      while (cur != src) {
+        const std::size_t x = cur % width_;
+        const std::size_t y = cur / width_;
+        const std::size_t neighbors[4] = {
+            x > 0 ? cur - 1 : cur, x + 1 < width_ ? cur + 1 : cur,
+            y > 0 ? cur - width_ : cur, y + 1 < height_ ? cur + width_ : cur};
+        std::size_t next = cur;
+        for (const std::size_t nb : neighbors) {
+          if (nb != cur && dist[nb] >= 0 && dist[nb] == dist[cur] - 1) {
+            next = nb;
+            break;
+          }
+        }
+        if (next == cur) break;  // traceback failed (shouldn't happen)
+        cur = next;
+        path.push_back(cur);
+      }
+      if (cur != src) break;
+
+      // Claim phase: one transaction validates the path is still free on
+      // the shared grid and writes the claim. Purely shared accesses.
+      const std::uint64_t claim = item + 1;  // unique nonzero marker
+      bool claimed = false;
+      atomic([&](Tx& tx) {
+        claimed = false;
+        for (const std::size_t cell : path) {
+          if (tm_read(tx, &grid_[cell], sites::kGrid) != 0) return;  // stale
+        }
+        for (const std::size_t cell : path) {
+          tm_write(tx, &grid_[cell], claim, sites::kGrid);
+        }
+        claimed = true;
+      });
+      routed_this = claimed;
+    }
+
+    atomic([&](Tx& tx) {
+      if (routed_this) {
+        tm_add(tx, &routed_, std::uint64_t{1}, sites::kCounter);
+      } else {
+        tm_add(tx, &failed_, std::uint64_t{1}, sites::kCounter);
+      }
+    });
+  }
+}
+
+bool LabyrinthApp::verify() {
+  // Each attempted path accounted exactly once.
+  if (routed_ + failed_ != planned_.size()) return false;
+  // Claimed cells carry a single claimant id; count distinct claims and
+  // confirm it matches the number of routed paths.
+  std::vector<std::uint64_t> claims;
+  for (const std::uint64_t cell : grid_) {
+    if (cell != 0) claims.push_back(cell);
+  }
+  std::sort(claims.begin(), claims.end());
+  claims.erase(std::unique(claims.begin(), claims.end()), claims.end());
+  return claims.size() == routed_;
+}
+
+}  // namespace cstm::stamp

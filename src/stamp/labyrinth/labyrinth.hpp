@@ -1,0 +1,45 @@
+// labyrinth: Lee-style maze router (STAMP labyrinth reimplementation).
+//
+// Threads pop (src, dst) work items, compute a candidate path with a BFS
+// over a *private snapshot* of the grid (outside any transaction), then
+// atomically validate-and-claim the path's cells on the shared grid. All
+// transactional accesses target the shared grid — labyrinth is the paper's
+// "zero redundant barriers" benchmark (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "containers/txqueue.hpp"
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class LabyrinthApp : public App {
+ public:
+  const char* name() const override { return "labyrinth"; }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+
+ private:
+  struct Work {
+    std::uint32_t src;
+    std::uint32_t dst;
+  };
+
+  std::size_t index(std::size_t x, std::size_t y) const { return y * width_ + x; }
+
+  AppParams params_;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::size_t num_paths_ = 0;
+  // 0 = free, otherwise 1 + path id that claimed the cell.
+  std::vector<std::uint64_t> grid_;
+  TxQueue<std::uint64_t> work_;  // packed (src<<32 | dst)
+  std::vector<Work> planned_;
+  alignas(64) std::uint64_t routed_ = 0;
+  alignas(64) std::uint64_t failed_ = 0;
+};
+
+}  // namespace cstm::stamp

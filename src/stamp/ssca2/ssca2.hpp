@@ -1,0 +1,34 @@
+// ssca2: scalable synthetic compact applications graph kernel 1 (STAMP
+// ssca2 reimplementation): threads insert a pre-generated edge list into
+// adjacency arrays using tiny transactions (one index bump + one slot write
+// each). Short transactions over pre-allocated shared arrays leave no
+// capture opportunity — ssca2 sits at the "nothing to elide" end of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class Ssca2App : public App {
+ public:
+  const char* name() const override { return "ssca2"; }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+
+ private:
+  AppParams params_;
+  std::size_t num_vertices_ = 0;
+  std::size_t num_edges_ = 0;
+  std::vector<std::uint32_t> edge_src_;
+  std::vector<std::uint32_t> edge_dst_;
+  std::vector<std::uint64_t> degree_;      // transactional counters
+  std::vector<std::uint64_t> offsets_;     // prefix sums (sequential phase)
+  std::vector<std::uint32_t> adjacency_;   // transactional slot writes
+  std::vector<std::uint64_t> fill_;        // per-vertex fill cursor (tx)
+};
+
+}  // namespace cstm::stamp

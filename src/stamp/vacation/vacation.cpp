@@ -1,0 +1,245 @@
+#include "stamp/vacation/vacation.hpp"
+
+#include <mutex>
+
+#include "capture/private_registry.hpp"
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm::stamp {
+
+namespace sites {
+// Reservation bookkeeping: original STAMP instruments these by hand.
+inline constexpr Site kResField{"vacation.res.field", true, false};
+// Freshly allocated reservation/customer records initialized in-tx:
+// over-instrumented by a naive compiler, provably captured.
+inline constexpr Site kResInit{"vacation.res.init", false, true};
+inline constexpr Site kCustField{"vacation.cust.field", true, false};
+// Query vector accesses: thread-local data (Figure 1(b)); only the
+// annotation APIs can elide these, so static_captured stays false.
+inline constexpr Site kQueryVec{"vacation.query.vec", false, false};
+}  // namespace sites
+
+namespace {
+
+constexpr std::uint64_t pack_booking(std::uint64_t type, std::uint64_t id,
+                                     std::uint64_t price) {
+  return (type << 56) | (id << 24) | price;
+}
+constexpr std::uint64_t booking_price(std::uint64_t b) {
+  return b & 0xffffffu;
+}
+
+/// Per-worker context: the thread-local query vector of the paper's
+/// Figure 1(b), registered with addPrivateMemoryBlock so the runtime can
+/// elide barriers on it when annotation checks are enabled.
+class WorkerCtxImpl {
+ public:
+  static constexpr std::size_t kMaxQueries = 8;
+  explicit WorkerCtxImpl(std::uint64_t seed) : rng(seed) {
+    add_private_memory_block(query_ids, sizeof(query_ids));
+  }
+  ~WorkerCtxImpl() { remove_private_memory_block(query_ids, sizeof(query_ids)); }
+
+  Xoshiro256 rng;
+  std::uint64_t query_ids[kMaxQueries] = {};
+};
+
+}  // namespace
+
+class WorkerCtx : public WorkerCtxImpl {
+ public:
+  using WorkerCtxImpl::WorkerCtxImpl;
+};
+
+VacationApp::~VacationApp() {
+  auto free_table = [](Table& t) {
+    t.for_each_sequential([](std::uint64_t, Reservation* r) {
+      Pool::deallocate(r);
+    });
+  };
+  free_table(cars_);
+  free_table(rooms_);
+  free_table(flights_);
+  for (Customer* c : all_customers_) {
+    delete c->bookings;
+    Pool::deallocate(c);
+  }
+}
+
+void VacationApp::setup(const AppParams& params) {
+  params_ = params;
+  relations_ = static_cast<std::uint64_t>(2048 * params.scale);
+  if (relations_ < 64) relations_ = 64;
+  total_tasks_ = static_cast<std::uint64_t>(8192 * params.scale);
+  if (total_tasks_ < 64) total_tasks_ = 64;
+  queries_per_task_ = high_ ? 4 : 2;
+  user_percent_ = high_ ? 90 : 98;
+  const int range_percent = high_ ? 60 : 90;
+  query_range_ = relations_ * static_cast<std::uint64_t>(range_percent) / 100;
+
+  Xoshiro256 rng(params.seed);
+  Tx& tx = current_tx();  // setup runs outside transactions: plain accesses
+  for (std::uint64_t id = 0; id < relations_; ++id) {
+    for (Kind k : {kCar, kRoom, kFlight}) {
+      auto* r = static_cast<Reservation*>(Pool::local().allocate(sizeof(Reservation)));
+      r->num_used = 0;
+      r->num_total = rng.between(1, 5);
+      r->num_free = r->num_total;
+      r->price = rng.between(100, 999);
+      table_of(k).insert(tx, id, r);
+    }
+    auto* c = static_cast<Customer*>(Pool::local().allocate(sizeof(Customer)));
+    c->id = id;
+    c->bill = 0;
+    c->bookings = new TxList<std::uint64_t>(/*allow_duplicates=*/true);
+    customers_.insert(tx, id, c);
+    all_customers_.push_back(c);
+  }
+}
+
+void VacationApp::task_make_reservation(Tx& tx, WorkerCtx& ctx) {
+  const std::uint64_t customer_id = ctx.rng.below(query_range_);
+  // Address-taken locals inside the atomic block: a naive compiler
+  // instruments every access to them (they escape into helper calls in the
+  // original C), producing exactly the captured-stack barriers of Fig. 8.
+  // The compiler capture analysis proves them transaction-local.
+  std::uint64_t chosen_id[3] = {0, 0, 0};
+  std::uint64_t found[3] = {0, 0, 0};
+  std::uint64_t best_price[3] = {0, 0, 0};
+  for (int k = 0; k < 3; ++k) {
+    // Populate the thread-local query vector inside the transaction
+    // (TMpopulateQueryVectors in Figure 1(b)).
+    const int nq = queries_per_task_;
+    for (int q = 0; q < nq; ++q) {
+      tm_write(tx, &ctx.query_ids[q], ctx.rng.below(query_range_),
+               sites::kQueryVec);
+    }
+    for (int q = 0; q < nq; ++q) {
+      const std::uint64_t id = tm_read(tx, &ctx.query_ids[q], sites::kQueryVec);
+      Reservation* r = nullptr;
+      if (!table_of(static_cast<Kind>(k)).find(tx, id, &r)) continue;
+      const std::uint64_t free = tm_read(tx, &r->num_free, sites::kResField);
+      const std::uint64_t price = tm_read(tx, &r->price, sites::kResField);
+      if (free > 0 && (tm_read(tx, &found[k], kAutoCapturedSite) == 0 ||
+                       price > tm_read(tx, &best_price[k], kAutoCapturedSite))) {
+        tm_write(tx, &found[k], std::uint64_t{1}, kAutoCapturedSite);
+        tm_write(tx, &best_price[k], price, kAutoCapturedSite);
+        tm_write(tx, &chosen_id[k], id, kAutoCapturedSite);
+      }
+    }
+  }
+  Customer* customer = nullptr;
+  if (!customers_.find(tx, customer_id, &customer)) return;  // deleted
+  for (int k = 0; k < 3; ++k) {
+    if (tm_read(tx, &found[k], kAutoCapturedSite) == 0) continue;
+    const std::uint64_t id = tm_read(tx, &chosen_id[k], kAutoCapturedSite);
+    const std::uint64_t price = tm_read(tx, &best_price[k], kAutoCapturedSite);
+    Reservation* r = nullptr;
+    if (!table_of(static_cast<Kind>(k)).find(tx, id, &r)) continue;
+    const std::uint64_t free = tm_read(tx, &r->num_free, sites::kResField);
+    if (free == 0) continue;
+    tm_write(tx, &r->num_free, free - 1, sites::kResField);
+    tm_add(tx, &r->num_used, std::uint64_t{1}, sites::kResField);
+    customer->bookings->insert(
+        tx, pack_booking(static_cast<std::uint64_t>(k), id, price));
+    tm_add(tx, &customer->bill, price, sites::kCustField);
+  }
+}
+
+void VacationApp::task_delete_customer(Tx& tx, WorkerCtx& ctx) {
+  const std::uint64_t customer_id = ctx.rng.below(query_range_);
+  Customer* customer = nullptr;
+  if (!customers_.find(tx, customer_id, &customer)) return;
+  // Refund every booking (Figure 1(a)-style iteration: the iterator lives
+  // on the transaction-local stack).
+  typename TxList<std::uint64_t>::Iterator it;
+  customer->bookings->iter_reset(tx, &it);
+  while (customer->bookings->iter_has_next(tx, &it)) {
+    const std::uint64_t booking = customer->bookings->iter_next(tx, &it);
+    const auto type = static_cast<Kind>(booking >> 56);
+    const std::uint64_t id = (booking >> 24) & 0xffffffffu;
+    Reservation* r = nullptr;
+    if (table_of(type).find(tx, id, &r)) {
+      tm_add(tx, &r->num_free, std::uint64_t{1}, sites::kResField);
+      const std::uint64_t used = tm_read(tx, &r->num_used, sites::kResField);
+      tm_write(tx, &r->num_used, used - 1, sites::kResField);
+    }
+    tm_add(tx, &customer->bill,
+           std::uint64_t{0} - booking_price(booking), sites::kCustField);
+  }
+  customer->bookings->clear(tx);
+}
+
+void VacationApp::task_update_tables(Tx& tx, WorkerCtx& ctx, bool add) {
+  const int nq = queries_per_task_;
+  for (int q = 0; q < nq; ++q) {
+    const auto kind = static_cast<Kind>(ctx.rng.below(3));
+    const std::uint64_t id = ctx.rng.below(query_range_);
+    Reservation* r = nullptr;
+    if (add) {
+      if (table_of(kind).find(tx, id, &r)) {
+        // Grow existing inventory.
+        tm_add(tx, &r->num_total, std::uint64_t{1}, sites::kResField);
+        tm_add(tx, &r->num_free, std::uint64_t{1}, sites::kResField);
+      } else {
+        // Fresh reservation record allocated inside the transaction: its
+        // initialization is captured memory.
+        r = static_cast<Reservation*>(tx_malloc(tx, sizeof(Reservation)));
+        tm_write(tx, &r->num_used, std::uint64_t{0}, sites::kResInit);
+        tm_write(tx, &r->num_free, std::uint64_t{1}, sites::kResInit);
+        tm_write(tx, &r->num_total, std::uint64_t{1}, sites::kResInit);
+        tm_write(tx, &r->price, ctx.rng.between(100, 999), sites::kResInit);
+        table_of(kind).insert(tx, id, r);
+      }
+    } else {
+      if (table_of(kind).find(tx, id, &r)) {
+        const std::uint64_t total = tm_read(tx, &r->num_total, sites::kResField);
+        const std::uint64_t free = tm_read(tx, &r->num_free, sites::kResField);
+        if (free == total && total > 0) {
+          // Retire one unit; drop the record when empty.
+          tm_write(tx, &r->num_total, total - 1, sites::kResField);
+          tm_write(tx, &r->num_free, free - 1, sites::kResField);
+          if (total - 1 == 0) {
+            table_of(kind).erase(tx, id);
+            tx_free(tx, r);
+          }
+        }
+      }
+    }
+  }
+}
+
+void VacationApp::worker(int tid) {
+  WorkerCtx ctx(params_.seed * 7919 + static_cast<std::uint64_t>(tid));
+  // Fixed total work split across threads (as in STAMP's -t tasks).
+  const auto threads = static_cast<std::uint64_t>(params_.threads);
+  const std::uint64_t tasks =
+      total_tasks_ / threads +
+      (static_cast<std::uint64_t>(tid) < total_tasks_ % threads ? 1 : 0);
+  for (std::uint64_t t = 0; t < tasks; ++t) {
+    const std::uint64_t dice = ctx.rng.below(100);
+    if (dice < static_cast<std::uint64_t>(user_percent_)) {
+      atomic([&](Tx& tx) { task_make_reservation(tx, ctx); });
+    } else if (dice % 2 == 0) {
+      atomic([&](Tx& tx) { task_delete_customer(tx, ctx); });
+    } else {
+      atomic([&](Tx& tx) { task_update_tables(tx, ctx, ctx.rng.below(2) == 0); });
+    }
+  }
+}
+
+bool VacationApp::verify() {
+  bool ok = true;
+  auto check_table = [&](Table& t) {
+    t.for_each_sequential([&](std::uint64_t, Reservation* r) {
+      if (r->num_used + r->num_free != r->num_total) ok = false;
+    });
+  };
+  check_table(cars_);
+  check_table(rooms_);
+  check_table(flights_);
+  return ok;
+}
+
+}  // namespace cstm::stamp

@@ -1,0 +1,79 @@
+// vacation: travel reservation system (STAMP vacation reimplementation).
+//
+// A manager keeps four ordered maps (cars, rooms, flights, customers).
+// Client threads run three task types inside transactions: make a
+// reservation (query n items per category through a thread-local query
+// vector — the paper's Figure 1(b) pattern — then book the best), delete a
+// customer (refund bookings), and update tables (add/remove inventory,
+// allocating reservation records inside the transaction — captured memory).
+//
+// High contention: n=4 queries spanning 60% of relations, 90% user tasks.
+// Low contention: n=2 queries spanning 90% of relations, 98% user tasks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "containers/txlist.hpp"
+#include "containers/txmap.hpp"
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class VacationApp : public App {
+ public:
+  explicit VacationApp(bool high_contention) : high_(high_contention) {}
+  ~VacationApp() override;
+
+  const char* name() const override {
+    return high_ ? "vacation-high" : "vacation-low";
+  }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+
+ private:
+  struct Reservation {
+    std::uint64_t num_used;
+    std::uint64_t num_free;
+    std::uint64_t num_total;
+    std::uint64_t price;
+  };
+  struct Customer {
+    std::uint64_t id;
+    std::uint64_t bill;
+    // Booked (type, id, price) triples packed into uint64 list entries.
+    TxList<std::uint64_t>* bookings;
+  };
+
+  using Table = TxMap<std::uint64_t, Reservation*>;
+
+  enum Kind : std::uint64_t { kCar = 0, kRoom = 1, kFlight = 2 };
+
+  Table& table_of(Kind k) {
+    switch (k) {
+      case kCar: return cars_;
+      case kRoom: return rooms_;
+      default: return flights_;
+    }
+  }
+
+  void task_make_reservation(Tx& tx, class WorkerCtx& ctx);
+  void task_delete_customer(Tx& tx, class WorkerCtx& ctx);
+  void task_update_tables(Tx& tx, class WorkerCtx& ctx, bool add);
+
+  bool high_;
+  AppParams params_;
+  std::uint64_t relations_ = 0;
+  std::uint64_t total_tasks_ = 0;
+  std::uint64_t query_range_ = 0;  // ids are drawn from [0, query_range_)
+  int queries_per_task_ = 0;
+  int user_percent_ = 0;
+
+  Table cars_, rooms_, flights_;
+  TxMap<std::uint64_t, Customer*> customers_;
+  std::vector<Customer*> all_customers_;  // for teardown/verify
+};
+
+}  // namespace cstm::stamp

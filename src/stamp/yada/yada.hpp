@@ -1,0 +1,48 @@
+// yada: Delaunay mesh refinement (STAMP yada, structurally simplified).
+//
+// The real yada retriangulates cavities around bad triangles. This
+// reimplementation keeps the transactional skeleton that drives yada's
+// barrier profile — pop a bad element from a shared work heap, remove it
+// and its neighbors from the shared element map, allocate replacement
+// elements inside the transaction (captured initialization), re-insert and
+// re-queue still-bad ones — while replacing the geometry with a quality
+// metric that provably improves each refinement step, guaranteeing
+// termination. Allocation-heavy transactions with many writes: the paper
+// reports ~60% of yada's barriers are elidable, mostly writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "containers/txheap.hpp"
+#include "containers/txmap.hpp"
+#include "stamp/app.hpp"
+
+namespace cstm::stamp {
+
+class YadaApp : public App {
+ public:
+  const char* name() const override { return "yada"; }
+  void setup(const AppParams& params) override;
+  void worker(int tid) override;
+  bool verify() override;
+  ~YadaApp() override;
+
+ private:
+  struct Element {
+    std::uint64_t id;
+    std::uint64_t quality;     // refinement improves this monotonically
+    std::uint64_t generation;  // refinement depth (diagnostics)
+  };
+
+  static constexpr std::uint64_t kGoodQuality = 30;
+
+  AppParams params_;
+  std::size_t initial_elements_ = 0;
+  std::unique_ptr<TxMap<std::uint64_t, Element*>> mesh_;
+  std::unique_ptr<TxHeap<std::uint64_t>> work_;  // bad element ids (max-heap)
+  alignas(64) std::uint64_t next_id_ = 0;
+  alignas(64) std::uint64_t refinements_ = 0;
+};
+
+}  // namespace cstm::stamp

@@ -1,0 +1,28 @@
+// Per-transaction allocator bookkeeping (paper Section 3.1.2: "We extended
+// the existing transactional memory allocator ... to keep a log of all
+// memory blocks allocated in a transaction"). malloc-in-tx is undone on
+// abort; free-in-tx of pre-transaction memory is deferred to commit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cstm {
+
+struct AllocRecord {
+  void* ptr;
+  std::size_t size;      // usable size (size-class rounded)
+  bool freed_in_tx;      // allocated then freed inside the same transaction
+};
+
+struct TxAllocCtx {
+  std::vector<AllocRecord> allocs;
+  std::vector<void*> deferred_frees;
+
+  void clear() {
+    allocs.clear();
+    deferred_frees.clear();
+  }
+};
+
+}  // namespace cstm

@@ -1,0 +1,185 @@
+// STM read and write barriers with runtime and compile-time capture
+// analysis (paper Figure 2 and Section 3).
+//
+// Algorithm (in-place update, encounter-time locking, optimistic readers):
+//  * read: sample orec, read value, resample; validate version against the
+//    transaction timestamp, extending the timestamp on demand.
+//  * write: acquire the orec by CAS, record the pre-image in the undo log,
+//    store in place.
+// Capture fast paths come first: a barrier on captured memory degenerates
+// to a plain CPU access plus a counter increment.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "stm/descriptor.hpp"
+#include "stm/site.hpp"
+
+namespace cstm {
+
+template <typename T>
+concept TmValue = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+namespace detail {
+
+// Relaxed atomic accesses keep racy loads/stores well-defined without
+// changing x86-64 codegen relative to plain moves.
+template <TmValue T>
+T load_relaxed(const T* p) {
+  T v;
+  __atomic_load(const_cast<T*>(p), &v, __ATOMIC_RELAXED);
+  return v;
+}
+
+template <TmValue T>
+void store_relaxed(T* p, T v) {
+  __atomic_store(p, &v, __ATOMIC_RELAXED);
+}
+
+template <TmValue T>
+T full_tm_read(Tx& tx, const T* addr) {
+  auto& rec = orec_table().slot(addr);
+  for (;;) {
+    const std::uint64_t v1 = rec.load(std::memory_order_acquire);
+    if (orec::is_locked(v1)) {
+      if (orec::owner_of(v1) == &tx) return load_relaxed(addr);  // read-own
+      tx.on_conflict(&rec);
+      continue;
+    }
+    const T val = load_relaxed(addr);
+    const std::uint64_t v2 = rec.load(std::memory_order_acquire);
+    if (v1 != v2) continue;  // changed underneath us; retry
+    if (orec::version_of(v1) > tx.start_ts) {
+      if (!tx.extend()) tx.abort_self();
+      continue;  // timestamp extended; revalidate this orec
+    }
+    tx.rs.push(ReadEntry{&rec, v1});
+    return val;
+  }
+}
+
+template <TmValue T>
+void full_tm_write(Tx& tx, T* addr, T value) {
+  auto& rec = orec_table().slot(addr);
+  for (;;) {
+    std::uint64_t v = rec.load(std::memory_order_acquire);
+    if (orec::is_locked(v)) {
+      if (orec::owner_of(v) == &tx) {
+        // Write-after-write fast path: lock already held.
+        ++tx.stats.write_own_fast;
+        tx.undo.record(addr, sizeof(T));
+        store_relaxed(addr, value);
+        return;
+      }
+      tx.on_conflict(&rec);
+      continue;
+    }
+    if (orec::version_of(v) > tx.start_ts) {
+      if (!tx.extend()) tx.abort_self();
+      continue;
+    }
+    if (rec.compare_exchange_weak(v, orec::make_lock(&tx),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      tx.ws.push(OwnedOrec{&rec, v});
+      tx.undo.record(addr, sizeof(T));
+      store_relaxed(addr, value);
+      return;
+    }
+  }
+}
+
+inline void classify_access(Tx& tx, const void* addr, std::size_t n,
+                            const Site& site, bool is_write) {
+  const CaptureKind k = tx.classify(addr, n);
+  TxStats& s = tx.stats;
+  if (is_write) {
+    switch (k) {
+      case CaptureKind::kHeap: ++s.write_cap_heap; return;
+      case CaptureKind::kStack: ++s.write_cap_stack; return;
+      default: break;
+    }
+    if (site.manual) ++s.write_required; else ++s.write_not_required;
+  } else {
+    switch (k) {
+      case CaptureKind::kHeap: ++s.read_cap_heap; return;
+      case CaptureKind::kStack: ++s.read_cap_stack; return;
+      default: break;
+    }
+    if (site.manual) ++s.read_required; else ++s.read_not_required;
+  }
+}
+
+}  // namespace detail
+
+/// Transactional read of *addr. Outside a transaction this is a plain load,
+/// which lets the same code run for sequential setup and verification.
+template <TmValue T>
+T tm_read(Tx& tx, const T* addr, const Site& site = kSharedSite) {
+  if (!tx.in_tx()) return *addr;
+  ++tx.stats.reads;
+  if (tx.cfg.count_mode) [[unlikely]] {
+    detail::classify_access(tx, addr, sizeof(T), site, /*is_write=*/false);
+  }
+  if (tx.cfg.static_elision && site.static_captured) {
+    ++tx.stats.read_elided_static;
+    return *addr;
+  }
+  if (tx.cfg.any_read_check()) {
+    switch (tx.runtime_captured(addr, sizeof(T), /*is_write=*/false)) {
+      case CaptureKind::kStack: ++tx.stats.read_elided_stack; return *addr;
+      case CaptureKind::kHeap: ++tx.stats.read_elided_heap; return *addr;
+      case CaptureKind::kPrivate: ++tx.stats.read_elided_private; return *addr;
+      case CaptureKind::kNone: break;
+    }
+  }
+  return detail::full_tm_read(tx, addr);
+}
+
+/// Transactional write of @p value to *addr. Outside a transaction this is a
+/// plain store.
+template <TmValue T>
+void tm_write(Tx& tx, T* addr, T value, const Site& site = kSharedSite) {
+  if (!tx.in_tx()) {
+    *addr = value;
+    return;
+  }
+  ++tx.stats.writes;
+  if (tx.cfg.count_mode) [[unlikely]] {
+    detail::classify_access(tx, addr, sizeof(T), site, /*is_write=*/true);
+  }
+  if (tx.cfg.static_elision && site.static_captured) {
+    ++tx.stats.write_elided_static;
+    *addr = value;
+    return;
+  }
+  if (tx.cfg.any_write_check()) {
+    const CaptureKind k = tx.runtime_captured(addr, sizeof(T), /*is_write=*/true);
+    if (k != CaptureKind::kNone) {
+      // Captured writes in a *nested* transaction still need a pre-image so
+      // a partial abort can restore memory live-in to the child
+      // (Section 2.2.1); at nesting depth 1 the memory dies on abort.
+      if (tx.depth > 1 && tx.cfg.nested_undo_for_captured) {
+        tx.undo.record(addr, sizeof(T));
+      }
+      switch (k) {
+        case CaptureKind::kStack: ++tx.stats.write_elided_stack; break;
+        case CaptureKind::kHeap: ++tx.stats.write_elided_heap; break;
+        case CaptureKind::kPrivate: ++tx.stats.write_elided_private; break;
+        case CaptureKind::kNone: break;
+      }
+      detail::store_relaxed(addr, value);
+      return;
+    }
+  }
+  detail::full_tm_write(tx, addr, value);
+}
+
+/// Read-modify-write convenience used by counters in the benchmarks.
+template <TmValue T>
+void tm_add(Tx& tx, T* addr, T delta, const Site& site = kSharedSite) {
+  tm_write(tx, addr, static_cast<T>(tm_read(tx, addr, site) + delta), site);
+}
+
+}  // namespace cstm

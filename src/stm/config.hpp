@@ -1,0 +1,104 @@
+// Runtime configuration: which capture checks run inside the barriers, which
+// allocation-log data structure backs the heap check, and the contention
+// policy. The named presets correspond exactly to the configurations the
+// paper evaluates in Figures 9-11 and Tables 1-2.
+#pragma once
+
+#include <cstdint>
+
+#include "capture/alloc_log.hpp"
+
+namespace cstm {
+
+enum class ContentionPolicy : std::uint8_t {
+  kBackoff = 0,       // abort self, exponential backoff before retry (paper)
+  kSuicide = 1,       // abort self, retry immediately
+  kSpinThenAbort = 2  // bounded spin on the lock, then abort self
+};
+
+struct TxConfig {
+  // Runtime capture checks (Section 3.1), separately for reads and writes to
+  // reproduce the paper's "write barriers only" configurations.
+  bool stack_read = false;
+  bool stack_write = false;
+  bool heap_read = false;
+  bool heap_write = false;
+
+  // Annotation-registry checks (Section 3.1.3, thread-local/read-only data).
+  bool private_read = false;
+  bool private_write = false;
+
+  // Compiler capture analysis (Section 3.2): honor Site::static_captured.
+  bool static_elision = false;
+
+  // Fig. 8 counting mode: classify every barrier with the precise tree log
+  // but still execute the full barrier (measurement, not optimization).
+  bool count_mode = false;
+
+  // Undo-log writes to captured memory inside nested transactions so that a
+  // partial abort can restore them (Section 2.2.1).
+  bool nested_undo_for_captured = true;
+
+  AllocLogKind alloc_log = AllocLogKind::kTree;
+  ContentionPolicy contention = ContentionPolicy::kBackoff;
+
+  bool any_read_check() const { return stack_read || heap_read || private_read; }
+  bool any_write_check() const {
+    return stack_write || heap_write || private_write;
+  }
+  bool heap_log_needed() const { return heap_read || heap_write || count_mode; }
+
+  // -- Presets matching the paper's measured configurations -----------------
+
+  /// No optimization applied.
+  static TxConfig baseline() { return TxConfig{}; }
+
+  /// Runtime checks for tx-local stack and heap in read AND write barriers.
+  static TxConfig runtime_rw(AllocLogKind k = AllocLogKind::kTree) {
+    TxConfig c;
+    c.stack_read = c.stack_write = c.heap_read = c.heap_write = true;
+    c.private_read = c.private_write = true;
+    c.alloc_log = k;
+    return c;
+  }
+
+  /// Runtime checks for tx-local stack and heap in write barriers only.
+  static TxConfig runtime_w(AllocLogKind k = AllocLogKind::kTree) {
+    TxConfig c;
+    c.stack_write = c.heap_write = true;
+    c.private_write = true;
+    c.alloc_log = k;
+    return c;
+  }
+
+  /// Runtime checks for tx-local heap only, write barriers only (the
+  /// configuration of Figure 11(b)).
+  static TxConfig runtime_heap_w(AllocLogKind k = AllocLogKind::kTree) {
+    TxConfig c;
+    c.heap_write = true;
+    c.alloc_log = k;
+    return c;
+  }
+
+  /// Compiler capture analysis: statically elided barriers, no runtime cost.
+  static TxConfig compiler() {
+    TxConfig c;
+    c.static_elision = true;
+    return c;
+  }
+
+  /// Fig. 8 barrier-breakdown measurement.
+  static TxConfig counting() {
+    TxConfig c;
+    c.count_mode = true;
+    c.alloc_log = AllocLogKind::kTree;  // precise classification
+    return c;
+  }
+};
+
+/// Installs the configuration picked up by transactions at begin. Threads
+/// observe the change on their next top-level transaction.
+void set_global_config(const TxConfig& cfg);
+TxConfig global_config();
+
+}  // namespace cstm

@@ -1,0 +1,161 @@
+// Transaction descriptor: all per-thread transaction state, including the
+// capture-analysis machinery (transaction-local stack bounds, allocation
+// logs, private-region registry pointer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "capture/array_log.hpp"
+#include "capture/filter_log.hpp"
+#include "capture/private_registry.hpp"
+#include "capture/tree_log.hpp"
+#include "stm/alloc_ctx.hpp"
+#include "stm/config.hpp"
+#include "stm/gclock.hpp"
+#include "stm/logs.hpp"
+#include "stm/orec.hpp"
+#include "stm/stats.hpp"
+#include "support/backoff.hpp"
+
+namespace cstm {
+
+/// Thrown after a conflict abort; the descriptor has already rolled back
+/// fully. Caught by the retry loop in cstm::atomic().
+struct TxAbortException {};
+
+/// Thrown by cstm::abort_tx(): aborts the innermost transaction without
+/// retrying (partial abort when nested, cancellation at top level).
+struct TxUserAbort {};
+
+enum class CaptureKind : std::uint8_t { kNone, kStack, kHeap, kPrivate };
+
+class Tx {
+ public:
+  Tx();
+  ~Tx();
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  // -- Hot state -------------------------------------------------------------
+  TxConfig cfg;
+  std::uint64_t start_ts = 0;
+  const void* stack_begin = nullptr;  // stack top at outermost begin (Fig. 3)
+  std::uintptr_t stack_low = 0;       // low bound of this thread's stack
+  unsigned depth = 0;
+  unsigned consecutive_aborts = 0;
+
+  TxLog<ReadEntry> rs;
+  TxLog<OwnedOrec> ws;
+  UndoLog undo;
+  TxAllocCtx alloc;
+  std::vector<std::size_t> freed_events;  // indices into alloc.allocs
+  TxStats stats;
+
+  /// Snapshot timestamp while a transaction is active; kIdleEpoch when not.
+  /// Published so the allocator's quarantine can wait for every transaction
+  /// that might still hold a stale pointer to freed memory (zombie writers
+  /// must never reach reused blocks — their bytes become allocator
+  /// metadata).
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> active_since{kIdleEpoch};
+
+  /// Blocks freed at commit, quarantined until quiescence.
+  struct QuarantinedBlock {
+    void* ptr;
+    std::uint64_t epoch;
+  };
+  std::vector<QuarantinedBlock> quarantine;
+
+  struct LevelMark {
+    std::size_t rs, ws, undo, allocs, frees, freed_events;
+    const void* level_sp;
+  };
+  std::vector<LevelMark> levels;
+
+  // -- Capture machinery -----------------------------------------------------
+  TreeAllocLog tree_log;
+  ArrayAllocLog array_log;
+  FilterAllocLog filter_log;
+  PrivateRegistry* priv = nullptr;
+
+  AllocLog& active_alloc_log() {
+    if (cfg.count_mode) return tree_log;  // precise classification
+    switch (cfg.alloc_log) {
+      case AllocLogKind::kArray: return array_log;
+      case AllocLogKind::kFilter: return filter_log;
+      case AllocLogKind::kTree: break;
+    }
+    return tree_log;
+  }
+
+  bool in_tx() const { return depth > 0; }
+
+  // -- Lifecycle (definitions in stm.cpp) ------------------------------------
+  void begin_top(const void* sp);
+  void begin_nested(const void* sp);
+  void commit_top();     // may abort on validation failure (throws)
+  void commit_nested();
+  void abort_nested();   // partial abort of the innermost level
+  void cancel();         // user abort at top level: roll back, do not retry
+  [[noreturn]] void abort_self();  // full rollback + throw TxAbortException
+
+  /// Releases quarantined blocks whose freeing epoch has quiesced (no
+  /// active transaction started before it). Called from begin_top;
+  /// @p force flushes regardless of the batching threshold.
+  void flush_quarantine(bool force);
+
+  bool validate() const;
+  bool extend();
+  /// Called on a lock conflict: spins (kSpinThenAbort) or aborts self.
+  void on_conflict(std::atomic<std::uint64_t>* rec);
+  void pause_backoff() { backoff_.pause(consecutive_aborts); }
+
+  // -- Runtime capture analysis (Section 3.1) --------------------------------
+
+  /// Returns how [addr, addr+n) is captured, honoring the per-config check
+  /// switches for the given access direction.
+  CaptureKind runtime_captured(const void* addr, std::size_t n, bool is_write) {
+    if (is_write ? cfg.stack_write : cfg.stack_read) {
+      if (on_tx_stack(addr, n)) return CaptureKind::kStack;
+    }
+    if (is_write ? cfg.heap_write : cfg.heap_read) {
+      if (active_alloc_log().contains(addr, n)) return CaptureKind::kHeap;
+    }
+    if (is_write ? cfg.private_write : cfg.private_read) {
+      if (priv != nullptr && priv->contains(addr, n)) return CaptureKind::kPrivate;
+    }
+    return CaptureKind::kNone;
+  }
+
+  /// Precise classification for count mode (Fig. 8): heap first, then stack.
+  CaptureKind classify(const void* addr, std::size_t n) {
+    if (tree_log.contains(addr, n)) return CaptureKind::kHeap;
+    if (on_tx_stack(addr, n)) return CaptureKind::kStack;
+    return CaptureKind::kNone;
+  }
+
+  /// The single range check of Figure 4: the transaction-local stack is the
+  /// region between the current stack pointer and the stack pointer at
+  /// transaction begin (stack grows downwards on x86-64).
+  bool on_tx_stack(const void* addr, std::size_t n) const {
+    char probe;  // approximates the current stack pointer
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return a >= reinterpret_cast<std::uintptr_t>(&probe) &&
+           a + n <= reinterpret_cast<std::uintptr_t>(stack_begin);
+  }
+
+  bool owns(std::uint64_t word) const {
+    return orec::is_locked(word) && orec::owner_of(word) == this;
+  }
+
+ private:
+  void reset_logs();
+  ExponentialBackoff backoff_;
+};
+
+/// The calling thread's descriptor (created on first use).
+Tx& current_tx();
+
+}  // namespace cstm

@@ -1,0 +1,31 @@
+// Global version clock for optimistic-reader validation (TL2/TinySTM style).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/cacheline.hpp"
+
+namespace cstm {
+
+class GlobalClock {
+ public:
+  std::uint64_t load() const {
+    return clock_.value.load(std::memory_order_acquire);
+  }
+
+  /// Advances the clock by one and returns the new value; used as the commit
+  /// timestamp of a writing transaction.
+  std::uint64_t advance() {
+    return clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  Padded<std::atomic<std::uint64_t>> clock_{};
+};
+
+/// The process-wide clock. Never reset — monotonicity keeps stale ownership
+/// record versions from previous runs harmless.
+GlobalClock& global_clock();
+
+}  // namespace cstm

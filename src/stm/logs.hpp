@@ -1,0 +1,81 @@
+// Transaction-side logs: read set, owned-orec (write) set, and undo log.
+// All three support marks for closed nesting with partial abort.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cstm {
+
+/// Read-set entry: the ownership record and the (unlocked) word observed.
+struct ReadEntry {
+  std::atomic<std::uint64_t>* rec;
+  std::uint64_t observed;
+};
+
+/// Write-set entry: an ownership record this transaction locked, plus the
+/// word to restore on abort.
+struct OwnedOrec {
+  std::atomic<std::uint64_t>* rec;
+  std::uint64_t prev;
+};
+
+/// Undo-log entry: up to 8 bytes of pre-image at an arbitrary address.
+struct UndoEntry {
+  void* addr;
+  std::uint64_t image;
+  std::uint32_t len;
+};
+
+template <typename T>
+class TxLog {
+ public:
+  void push(const T& e) { items_.push_back(e); }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+  void truncate(std::size_t n) { items_.resize(n); }
+  const T& operator[](std::size_t i) const { return items_[i]; }
+  T& operator[](std::size_t i) { return items_[i]; }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::vector<T> items_;
+};
+
+class UndoLog : public TxLog<UndoEntry> {
+ public:
+  /// Records the current bytes at [addr, addr+len), len <= 8.
+  void record(void* addr, std::uint32_t len) {
+    UndoEntry e{addr, 0, len};
+    std::memcpy(&e.image, addr, len);
+    push(e);
+  }
+
+  /// Restores pre-images in reverse order, down to (and excluding) @p from.
+  ///
+  /// Entries whose address lies in [skip_lo, skip_hi) are NOT restored.
+  /// Callers pass the dead transaction-local stack window: locals created
+  /// inside the (sub)transaction die with it, and by rollback time their
+  /// addresses may be occupied by the *live frames of the rollback code
+  /// itself* — writing there would smash return addresses. Skipping is
+  /// sound because such memory is never read after the abort: a full abort
+  /// re-executes the body with fresh locals, and a mid-body abort unwinds
+  /// the frames immediately after. Live-in stack memory (above the
+  /// transaction's start_sp) and all heap addresses are restored normally.
+  void rollback(std::size_t from, std::uintptr_t skip_lo = 0,
+                std::uintptr_t skip_hi = 0) {
+    for (std::size_t i = size(); i-- > from;) {
+      const UndoEntry& e = (*this)[i];
+      const auto a = reinterpret_cast<std::uintptr_t>(e.addr);
+      if (a >= skip_lo && a < skip_hi) continue;
+      std::memcpy(e.addr, &e.image, e.len);
+    }
+    truncate(from);
+  }
+};
+
+}  // namespace cstm

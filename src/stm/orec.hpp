@@ -1,0 +1,63 @@
+// Ownership records ("transaction records" in the paper, Section 2.1).
+//
+// A system-wide table maps each memory address, at cache-line granularity,
+// to an ownership record. The record word encodes either
+//   version << 1          (unlocked; version taken from the global clock) or
+//   descriptor-ptr | 1    (locked by the writing transaction).
+// Distinct addresses hashing to the same record produce false conflicts —
+// the effect the paper's optimizations reduce by eliding barriers entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace cstm {
+
+namespace orec {
+
+inline constexpr std::uint64_t kLockBit = 1;
+
+inline bool is_locked(std::uint64_t word) { return (word & kLockBit) != 0; }
+inline std::uint64_t version_of(std::uint64_t word) { return word >> 1; }
+inline std::uint64_t make_version(std::uint64_t version) { return version << 1; }
+inline std::uint64_t make_lock(const void* owner) {
+  return reinterpret_cast<std::uintptr_t>(owner) | kLockBit;
+}
+inline void* owner_of(std::uint64_t word) {
+  return reinterpret_cast<void*>(word & ~kLockBit);
+}
+
+}  // namespace orec
+
+class OrecTable {
+ public:
+  static constexpr std::size_t kSizeLog2 = 20;
+  static constexpr std::size_t kSize = std::size_t{1} << kSizeLog2;
+  static constexpr std::size_t kGranularityLog2 = 6;  // cache line
+
+  OrecTable() : slots_(new std::atomic<std::uint64_t>[kSize]) {
+    for (std::size_t i = 0; i < kSize; ++i) {
+      slots_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint64_t>& slot(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return slots_[(a >> kGranularityLog2) & (kSize - 1)];
+  }
+
+  /// Index helper exposed for tests exercising false-conflict behaviour.
+  static std::size_t index_of(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return (a >> kGranularityLog2) & (kSize - 1);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+};
+
+/// The process-wide ownership record table.
+OrecTable& orec_table();
+
+}  // namespace cstm

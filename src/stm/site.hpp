@@ -1,0 +1,33 @@
+// Static access-site descriptors.
+//
+// The paper's compiler instruments every memory access inside an atomic
+// block with an STM barrier. We emulate that instrumentation explicitly:
+// each barrier call in benchmark code carries a Site describing the static
+// program point. Two flags reproduce the paper's methodology:
+//
+//  * `manual` — whether the original, hand-instrumented STAMP code had a
+//    TM_SHARED_READ/WRITE at this point. Section 4.1 counts manual sites as
+//    "required" barriers; everything else is compiler over-instrumentation.
+//  * `static_captured` — whether the compiler capture analysis (Section 3.2,
+//    reproduced in src/txir) proves the access targets memory allocated in
+//    the current transaction, so the barrier can be statically elided.
+#pragma once
+
+namespace cstm {
+
+struct Site {
+  const char* name = "anon";
+  bool manual = true;
+  bool static_captured = false;
+};
+
+/// Shared access the original benchmark instrumented by hand ("required").
+inline constexpr Site kSharedSite{"shared", true, false};
+
+/// Compiler-added barrier that static analysis cannot prove captured.
+inline constexpr Site kAutoSite{"auto", false, false};
+
+/// Compiler-added barrier that static capture analysis proves captured.
+inline constexpr Site kAutoCapturedSite{"auto-captured", false, true};
+
+}  // namespace cstm

@@ -1,0 +1,100 @@
+// Per-thread transaction statistics, aggregated by the harness.
+#pragma once
+
+#include <cstdint>
+
+namespace cstm {
+
+struct TxStats {
+  // Outcomes.
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+
+  // Barrier invocations (every instrumented access).
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  // Elisions by mechanism.
+  std::uint64_t read_elided_stack = 0;
+  std::uint64_t read_elided_heap = 0;
+  std::uint64_t read_elided_private = 0;
+  std::uint64_t read_elided_static = 0;
+  std::uint64_t write_elided_stack = 0;
+  std::uint64_t write_elided_heap = 0;
+  std::uint64_t write_elided_private = 0;
+  std::uint64_t write_elided_static = 0;
+
+  // Fast path: write to an ownership record already held by this
+  // transaction (the cheap write-after-write check the paper credits for
+  // yada's baseline).
+  std::uint64_t write_own_fast = 0;
+
+  // Fig. 8 classification (count_mode only). Categories are mutually
+  // exclusive and checked in the paper's order: tx-local heap, tx-local
+  // stack, otherwise manual => required, else not-required-other.
+  std::uint64_t read_cap_heap = 0;
+  std::uint64_t read_cap_stack = 0;
+  std::uint64_t read_not_required = 0;
+  std::uint64_t read_required = 0;
+  std::uint64_t write_cap_heap = 0;
+  std::uint64_t write_cap_stack = 0;
+  std::uint64_t write_not_required = 0;
+  std::uint64_t write_required = 0;
+
+  // Transactional allocator traffic.
+  std::uint64_t tx_allocs = 0;
+  std::uint64_t tx_frees = 0;
+
+  std::uint64_t read_elided() const {
+    return read_elided_stack + read_elided_heap + read_elided_private +
+           read_elided_static;
+  }
+  std::uint64_t write_elided() const {
+    return write_elided_stack + write_elided_heap + write_elided_private +
+           write_elided_static;
+  }
+
+  double abort_to_commit_ratio() const {
+    return commits == 0 ? 0.0
+                        : static_cast<double>(aborts) /
+                              static_cast<double>(commits);
+  }
+
+  void add(const TxStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    reads += o.reads;
+    writes += o.writes;
+    read_elided_stack += o.read_elided_stack;
+    read_elided_heap += o.read_elided_heap;
+    read_elided_private += o.read_elided_private;
+    read_elided_static += o.read_elided_static;
+    write_elided_stack += o.write_elided_stack;
+    write_elided_heap += o.write_elided_heap;
+    write_elided_private += o.write_elided_private;
+    write_elided_static += o.write_elided_static;
+    write_own_fast += o.write_own_fast;
+    read_cap_heap += o.read_cap_heap;
+    read_cap_stack += o.read_cap_stack;
+    read_not_required += o.read_not_required;
+    read_required += o.read_required;
+    write_cap_heap += o.write_cap_heap;
+    write_cap_stack += o.write_cap_stack;
+    write_not_required += o.write_not_required;
+    write_required += o.write_required;
+    tx_allocs += o.tx_allocs;
+    tx_frees += o.tx_frees;
+  }
+
+  void reset() { *this = TxStats{}; }
+};
+
+/// Sum of the statistics of all live descriptors plus all retired
+/// (destroyed) descriptors since the last reset.
+TxStats stats_snapshot();
+
+/// Zeroes all live descriptors' statistics and the retired accumulator.
+/// Call only while no transactions are running.
+void stats_reset();
+
+}  // namespace cstm

@@ -1,0 +1,391 @@
+// Runtime globals and transaction lifecycle.
+#include <pthread.h>
+
+#include <mutex>
+#include <vector>
+
+#include "capture/private_registry.hpp"
+#include "stm/config.hpp"
+#include "stm/descriptor.hpp"
+#include "stm/gclock.hpp"
+#include "stm/orec.hpp"
+#include "stm/stats.hpp"
+#include "support/cacheline.hpp"
+#include "txmalloc/pool.hpp"
+
+namespace cstm {
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+GlobalClock& global_clock() {
+  static GlobalClock clock;
+  return clock;
+}
+
+OrecTable& orec_table() {
+  static OrecTable table;
+  return table;
+}
+
+namespace {
+
+std::mutex g_config_mutex;
+TxConfig g_config{};
+std::atomic<std::uint64_t> g_config_epoch{1};
+
+struct StatsRegistry {
+  std::mutex mutex;
+  std::vector<Tx*> live;
+  TxStats retired;
+};
+
+StatsRegistry& stats_registry() {
+  static StatsRegistry registry;
+  return registry;
+}
+
+thread_local std::uint64_t tls_seed_counter = 0;
+
+std::uint64_t next_backoff_seed() {
+  static std::atomic<std::uint64_t> counter{0x1234abcd};
+  return counter.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed) +
+         (++tls_seed_counter);
+}
+
+// Quarantined blocks of threads that exited before their frees quiesced.
+std::mutex g_orphan_mutex;
+std::vector<Tx::QuarantinedBlock> g_orphans;
+
+/// Smallest snapshot timestamp among active transactions; kIdleEpoch when
+/// none are active. A block freed at epoch e may be reused once
+/// min_active_start() > e: no transaction that could hold a stale pointer
+/// to it remains.
+std::uint64_t min_active_start() {
+  StatsRegistry& reg = stats_registry();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  std::uint64_t min_active = Tx::kIdleEpoch;
+  for (Tx* t : reg.live) {
+    const std::uint64_t a = t->active_since.load(std::memory_order_acquire);
+    if (a < min_active) min_active = a;
+  }
+  return min_active;
+}
+
+}  // namespace
+
+void set_global_config(const TxConfig& cfg) {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  g_config = cfg;
+  g_config_epoch.fetch_add(1, std::memory_order_release);
+}
+
+TxConfig global_config() {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  return g_config;
+}
+
+PrivateRegistry& thread_private_registry() {
+  thread_local PrivateRegistry registry;
+  return registry;
+}
+
+void add_private_memory_block(void* addr, std::size_t size) {
+  thread_private_registry().add(addr, size);
+}
+
+void remove_private_memory_block(void* addr, std::size_t size) {
+  thread_private_registry().remove(addr, size);
+}
+
+TxStats stats_snapshot() {
+  StatsRegistry& reg = stats_registry();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  TxStats sum = reg.retired;
+  for (Tx* tx : reg.live) sum.add(tx->stats);
+  return sum;
+}
+
+void stats_reset() {
+  StatsRegistry& reg = stats_registry();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  reg.retired.reset();
+  for (Tx* tx : reg.live) tx->stats.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor lifecycle
+// ---------------------------------------------------------------------------
+
+Tx::Tx() : backoff_(next_backoff_seed()) {
+  // Cache this thread's stack bounds: undo rollback must skip every entry
+  // in [stack_low, start_sp) — memory that did not exist when the
+  // transaction began is dead on abort, and by rollback time those
+  // addresses may hold the live frames of the rollback code itself.
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      stack_low = reinterpret_cast<std::uintptr_t>(addr);
+    }
+    pthread_attr_destroy(&attr);
+  }
+  StatsRegistry& reg = stats_registry();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  reg.live.push_back(this);
+}
+
+Tx::~Tx() {
+  // Thread exit: hand any unquiesced frees to the global orphan list so
+  // surviving threads release them once it is safe. (The thread-local pool
+  // may already be parked at this point, so no direct deallocation here.)
+  {
+    std::lock_guard<std::mutex> lk(g_orphan_mutex);
+    g_orphans.insert(g_orphans.end(), quarantine.begin(), quarantine.end());
+  }
+  quarantine.clear();
+  StatsRegistry& reg = stats_registry();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  reg.retired.add(stats);
+  std::erase(reg.live, this);
+}
+
+void Tx::flush_quarantine(bool force) {
+  if (!force && quarantine.size() < 64) return;
+  if (quarantine.empty() && !force) return;
+  const std::uint64_t min_active = min_active_start();
+  std::size_t kept = 0;
+  for (const QuarantinedBlock& q : quarantine) {
+    if (q.epoch < min_active) {
+      Pool::deallocate(q.ptr);
+    } else {
+      quarantine[kept++] = q;
+    }
+  }
+  quarantine.resize(kept);
+  // Opportunistically drain orphaned quarantine from exited threads.
+  std::vector<QuarantinedBlock> eligible;
+  {
+    std::lock_guard<std::mutex> lk(g_orphan_mutex);
+    std::size_t okept = 0;
+    for (const QuarantinedBlock& q : g_orphans) {
+      if (q.epoch < min_active) {
+        eligible.push_back(q);
+      } else {
+        g_orphans[okept++] = q;
+      }
+    }
+    g_orphans.resize(okept);
+  }
+  for (const QuarantinedBlock& q : eligible) Pool::deallocate(q.ptr);
+}
+
+Tx& current_tx() {
+  thread_local Tx tx;
+  return tx;
+}
+
+void Tx::reset_logs() {
+  rs.clear();
+  ws.clear();
+  undo.clear();
+  levels.clear();
+  freed_events.clear();
+  alloc.clear();
+  if (cfg.heap_log_needed()) active_alloc_log().clear();
+}
+
+namespace {
+thread_local std::uint64_t tls_cfg_epoch = 0;
+}
+
+void Tx::begin_top(const void* sp) {
+  // Pick up configuration changes made between runs.
+  const std::uint64_t epoch = g_config_epoch.load(std::memory_order_acquire);
+  if (epoch != tls_cfg_epoch) {
+    cfg = global_config();
+    tls_cfg_epoch = epoch;
+  }
+  flush_quarantine(/*force=*/false);
+  start_ts = global_clock().load();
+  active_since.store(start_ts, std::memory_order_release);
+  stack_begin = sp;
+  depth = 1;
+  priv = &thread_private_registry();
+  reset_logs();
+}
+
+void Tx::begin_nested(const void* sp) {
+  levels.push_back(LevelMark{rs.size(), ws.size(), undo.size(),
+                             alloc.allocs.size(), alloc.deferred_frees.size(),
+                             freed_events.size(), sp});
+  ++depth;
+}
+
+void Tx::commit_nested() {
+  levels.pop_back();
+  --depth;
+}
+
+void Tx::commit_top() {
+  if (!ws.empty()) {
+    const std::uint64_t wv = global_clock().advance();
+    // If nothing committed between our begin and this advance, the read set
+    // is trivially still valid; otherwise revalidate before releasing.
+    if (wv > start_ts + 1 && !validate()) abort_self();
+    const std::uint64_t word = orec::make_version(wv);
+    for (const OwnedOrec& w : ws) {
+      w.rec->store(word, std::memory_order_release);
+    }
+  }
+  // Allocator commit actions. Blocks both allocated and freed inside this
+  // transaction never escaped (their publishing writes were locked), so
+  // they are released directly. Frees of *pre-transaction* memory are
+  // quarantined: a doomed concurrent transaction may still write through a
+  // stale pointer, and those bytes must not become allocator metadata until
+  // every such transaction is gone (cf. McRT-Malloc's deferred reclamation).
+  for (const AllocRecord& r : alloc.allocs) {
+    if (r.freed_in_tx) Pool::deallocate(r.ptr);
+  }
+  if (!alloc.deferred_frees.empty()) {
+    const std::uint64_t epoch = global_clock().load();
+    for (void* p : alloc.deferred_frees) {
+      quarantine.push_back(QuarantinedBlock{p, epoch});
+    }
+  }
+  reset_logs();
+  depth = 0;
+  active_since.store(kIdleEpoch, std::memory_order_release);
+  ++stats.commits;
+  consecutive_aborts = 0;
+}
+
+void Tx::abort_self() {
+  // Roll back memory, release ownership, undo allocations, in that order:
+  // undo entries may point into blocks about to be returned to the pool.
+  // Undo entries into the transaction's own (now possibly dead) stack
+  // window are skipped — see UndoLog::rollback.
+  //
+  // Released records get a *fresh* clock version, not their pre-lock one:
+  // restoring the old word would let a reader whose two orec samples
+  // straddle our whole lock/dirty-write/rollback/release cycle accept a
+  // dirty value (ABA on the version word). The bump forces revalidation —
+  // occasionally spurious, never unsafe.
+  undo.rollback(0, stack_low, reinterpret_cast<std::uintptr_t>(stack_begin));
+  if (!ws.empty()) {
+    const std::uint64_t av = orec::make_version(global_clock().advance());
+    for (std::size_t i = ws.size(); i-- > 0;) {
+      ws[i].rec->store(av, std::memory_order_release);
+    }
+  }
+  for (std::size_t i = alloc.allocs.size(); i-- > 0;) {
+    Pool::deallocate(alloc.allocs[i].ptr);
+  }
+  // Deferred frees are dropped: the transaction did not happen.
+  reset_logs();
+  depth = 0;
+  active_since.store(kIdleEpoch, std::memory_order_release);
+  ++stats.aborts;
+  ++consecutive_aborts;
+  throw TxAbortException{};
+}
+
+void Tx::cancel() {
+  undo.rollback(0, stack_low, reinterpret_cast<std::uintptr_t>(stack_begin));
+  if (!ws.empty()) {
+    const std::uint64_t av = orec::make_version(global_clock().advance());
+    for (std::size_t i = ws.size(); i-- > 0;) {
+      ws[i].rec->store(av, std::memory_order_release);
+    }
+  }
+  for (std::size_t i = alloc.allocs.size(); i-- > 0;) {
+    Pool::deallocate(alloc.allocs[i].ptr);
+  }
+  reset_logs();
+  depth = 0;
+  active_since.store(kIdleEpoch, std::memory_order_release);
+}
+
+void Tx::abort_nested() {
+  const LevelMark m = levels.back();
+  levels.pop_back();
+  // Skip only the aborted level's dead stack window; locals of enclosing
+  // levels (between level_sp and start_sp) are live-in for this child and
+  // must be restored (Section 2.2.1).
+  undo.rollback(m.undo, stack_low,
+                reinterpret_cast<std::uintptr_t>(m.level_sp));
+  if (ws.size() > m.ws) {
+    const std::uint64_t av = orec::make_version(global_clock().advance());
+    for (std::size_t i = ws.size(); i-- > m.ws;) {
+      ws[i].rec->store(av, std::memory_order_release);
+    }
+  }
+  ws.truncate(m.ws);
+  rs.truncate(m.rs);
+  // Undo frees performed in the aborted level on blocks allocated by an
+  // ancestor: restore their live status (and their capture-log entries).
+  for (std::size_t i = freed_events.size(); i-- > m.freed_events;) {
+    const std::size_t idx = freed_events[i];
+    if (idx < m.allocs) {
+      alloc.allocs[idx].freed_in_tx = false;
+      if (cfg.heap_log_needed()) {
+        active_alloc_log().insert(alloc.allocs[idx].ptr,
+                                  alloc.allocs[idx].size);
+      }
+    }
+  }
+  freed_events.resize(m.freed_events);
+  // Undo allocations performed in the aborted level.
+  for (std::size_t i = alloc.allocs.size(); i-- > m.allocs;) {
+    const AllocRecord& r = alloc.allocs[i];
+    if (!r.freed_in_tx && cfg.heap_log_needed()) {
+      active_alloc_log().erase(r.ptr, r.size);
+    }
+    Pool::deallocate(r.ptr);
+  }
+  alloc.allocs.resize(m.allocs);
+  alloc.deferred_frees.resize(m.frees);
+  --depth;
+}
+
+bool Tx::validate() const {
+  for (const ReadEntry& e : rs) {
+    const std::uint64_t cur = e.rec->load(std::memory_order_acquire);
+    if (cur == e.observed) continue;
+    if (orec::is_locked(cur) && orec::owner_of(cur) == this) {
+      // We locked this record after reading it; valid iff the pre-lock
+      // version matches what the read observed.
+      bool ok = false;
+      for (const OwnedOrec& w : ws) {
+        if (w.rec == e.rec) {
+          ok = (w.prev == e.observed);
+          break;
+        }
+      }
+      if (ok) continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Tx::extend() {
+  const std::uint64_t now = global_clock().load();
+  if (!validate()) return false;
+  start_ts = now;
+  return true;
+}
+
+void Tx::on_conflict(std::atomic<std::uint64_t>* rec) {
+  if (cfg.contention == ContentionPolicy::kSpinThenAbort) {
+    for (int i = 0; i < 512; ++i) {
+      cpu_relax();
+      if (!orec::is_locked(rec->load(std::memory_order_acquire))) return;
+    }
+  }
+  abort_self();
+}
+
+}  // namespace cstm

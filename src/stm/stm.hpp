@@ -1,0 +1,19 @@
+// Umbrella header: the full capstm public API.
+//
+//   cstm::atomic([&](cstm::Tx& tx) {
+//     int v = cstm::tm_read(tx, &shared);
+//     cstm::tm_write(tx, &shared, v + 1);
+//   });
+//
+// Configuration presets (TxConfig::baseline/runtime_rw/runtime_w/
+// runtime_heap_w/compiler) select the paper's optimization variants.
+#pragma once
+
+#include "capture/private_registry.hpp"
+#include "stm/barriers.hpp"
+#include "stm/config.hpp"
+#include "stm/descriptor.hpp"
+#include "stm/site.hpp"
+#include "stm/stats.hpp"
+#include "stm/txn.hpp"
+#include "txmalloc/txalloc.hpp"

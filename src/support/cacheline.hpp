@@ -1,0 +1,36 @@
+// Cache-line geometry and padding helpers shared by the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstm {
+
+/// Cache-line size assumed throughout the runtime. The paper's STM maps
+/// ownership records at this granularity and sizes the array allocation log
+/// to exactly one line.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value in its own cache line to avoid false sharing between
+/// per-thread runtime structures (descriptor counters, the global clock, ...).
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+};
+
+/// Rounds @p n up to the next multiple of @p align (power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// CPU pause hint used inside spin/backoff loops.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace cstm

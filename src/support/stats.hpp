@@ -1,0 +1,39 @@
+// Descriptive statistics used by the experiment harness (Table 2 reports
+// percent relative standard deviation over repeated runs).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cstm {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;       // sample standard deviation (n-1)
+  double rsd_percent = 0.0;  // 100 * stddev / mean
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+inline Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  if (s.mean != 0.0) s.rsd_percent = 100.0 * s.stddev / s.mean;
+  return s;
+}
+
+}  // namespace cstm

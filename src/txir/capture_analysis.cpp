@@ -1,0 +1,97 @@
+#include "txir/capture_analysis.hpp"
+
+namespace cstm::txir {
+
+bool AnalysisResult::site_elidable(const std::string& site) const {
+  bool seen = false;
+  for (const auto& b : barriers) {
+    if (b.site != site) continue;
+    seen = true;
+    if (!b.elidable) return false;
+  }
+  return seen;
+}
+
+AnalysisResult analyze(const Function& f) {
+  AnalysisResult res;
+  res.states.assign(static_cast<std::size_t>(f.next_value),
+                    ValueState::kUnknown);
+  auto state = [&](ValueId v) -> ValueState {
+    return v == kNoValue ? ValueState::kUnknown
+                         : res.states[static_cast<std::size_t>(v)];
+  };
+
+  // Flow-insensitive fixpoint. The lattice has two points and transfer
+  // functions are monotone (a value can only be *promoted* to captured when
+  // all its sources are captured), so iteration terminates quickly; the
+  // loop handles defs that textually precede their operands (phis in
+  // loops).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Instr& ins : f.body) {
+      ValueState next = ValueState::kUnknown;
+      switch (ins.op) {
+        case Op::kTxAlloc:
+        case Op::kAllocaTx:
+          next = ValueState::kCaptured;
+          break;
+        case Op::kAllocaPre:
+          // Live-in stack slot: not captured (needs undo logging).
+          next = ValueState::kUnknown;
+          break;
+        case Op::kGep:
+        case Op::kMove:
+          next = state(ins.a);
+          break;
+        case Op::kPhi:
+          next = (state(ins.a) == ValueState::kCaptured &&
+                  state(ins.b) == ValueState::kCaptured)
+                     ? ValueState::kCaptured
+                     : ValueState::kUnknown;
+          break;
+        case Op::kLoad:
+          // A value loaded from memory is opaque even when the memory is
+          // captured: the stored bits could be any pointer.
+          next = ValueState::kUnknown;
+          break;
+        case Op::kCall:
+        case Op::kUnknown:
+          next = ValueState::kUnknown;
+          break;
+        case Op::kStore:
+          continue;  // no def
+      }
+      if (ins.dst == kNoValue) continue;
+      auto& slot = res.states[static_cast<std::size_t>(ins.dst)];
+      if (next != slot) {
+        // Monotonicity: only ever promote towards captured; a competing
+        // unknown def of the same value (shouldn't happen in well-formed
+        // SSA) keeps it unknown.
+        if (slot == ValueState::kUnknown && next == ValueState::kCaptured) {
+          slot = next;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  for (const Instr& ins : f.body) {
+    if (ins.op == Op::kLoad || ins.op == Op::kStore) {
+      res.barriers.push_back(BarrierDecision{
+          ins.site, ins.op == Op::kStore,
+          state(ins.a) == ValueState::kCaptured});
+    }
+  }
+  return res;
+}
+
+AnalysisResult analyze(const Program& p, const std::string& entry,
+                       int inline_depth) {
+  const Function* f = p.find(entry);
+  if (f == nullptr) return AnalysisResult{};
+  if (inline_depth <= 0) return analyze(*f);
+  return analyze(inline_calls(p, *f, inline_depth));
+}
+
+}  // namespace cstm::txir

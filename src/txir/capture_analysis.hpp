@@ -1,0 +1,61 @@
+// Compiler capture analysis (paper Section 3.2): a conservative,
+// flow-insensitive, intraprocedural pointer analysis that classifies each
+// IR value as definitely-captured or unknown, then decides per load/store
+// whether its STM barrier can be statically elided.
+//
+// Key transactional insight encoded here: storing a captured pointer into
+// shared memory does NOT un-capture the memory it points to — transaction
+// isolation keeps newly allocated memory private until commit. Hence stores
+// and opaque calls never kill capture facts; the only sources of
+// imprecision are values whose provenance the analysis cannot see (loads
+// from memory, parameters, opaque call results).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "txir/ir.hpp"
+
+namespace cstm::txir {
+
+enum class ValueState : std::uint8_t {
+  kUnknown = 0,   // may point anywhere
+  kCaptured = 1,  // definitely points into transaction-local memory
+};
+
+struct BarrierDecision {
+  std::string site;   // load/store site label
+  bool is_store;
+  bool elidable;      // true => compiler removes the STM barrier
+};
+
+struct AnalysisResult {
+  std::vector<ValueState> states;        // indexed by ValueId
+  std::vector<BarrierDecision> barriers; // one per load/store, body order
+
+  std::size_t total(bool stores) const {
+    std::size_t n = 0;
+    for (const auto& b : barriers) n += (b.is_store == stores);
+    return n;
+  }
+  std::size_t elided(bool stores) const {
+    std::size_t n = 0;
+    for (const auto& b : barriers) n += (b.is_store == stores && b.elidable);
+    return n;
+  }
+  /// True iff the named site's barrier is elided (all occurrences agree;
+  /// if any occurrence needs a barrier the site keeps its barrier).
+  bool site_elidable(const std::string& site) const;
+};
+
+/// Analyzes a single function (no inlining).
+AnalysisResult analyze(const Function& f);
+
+/// Inlines known callees up to @p inline_depth, then analyzes — the paper's
+/// configuration ("relies on function inlining to extend the analysis
+/// results across function calls").
+AnalysisResult analyze(const Program& p, const std::string& entry,
+                       int inline_depth);
+
+}  // namespace cstm::txir

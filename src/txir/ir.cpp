@@ -1,0 +1,141 @@
+#include "txir/ir.hpp"
+
+#include <sstream>
+
+namespace cstm::txir {
+
+namespace {
+
+// Appends a renamed copy of @p callee's body to @p out, mapping the callee's
+// parameters to the call's argument values. Returns the value the call's
+// result maps to (the callee's last defined value, or a fresh unknown).
+ValueId splice(const Program& program, Function& out, const Function& callee,
+               const std::vector<ValueId>& args, int depth);
+
+void inline_into(const Program& program, Function& out, const Function& src,
+                 std::vector<ValueId>& map, int depth) {
+  auto mapped = [&](ValueId v) -> ValueId {
+    return v == kNoValue ? kNoValue : map[static_cast<std::size_t>(v)];
+  };
+  for (const Instr& ins : src.body) {
+    if (ins.op == Op::kCall) {
+      const Function* callee = depth > 0 ? program.find(ins.callee) : nullptr;
+      if (callee != nullptr) {
+        std::vector<ValueId> call_args;
+        call_args.reserve(ins.args.size());
+        for (ValueId a : ins.args) call_args.push_back(mapped(a));
+        const ValueId result = splice(program, out, *callee, call_args, depth - 1);
+        if (ins.dst != kNoValue) map[static_cast<std::size_t>(ins.dst)] = result;
+        continue;
+      }
+    }
+    Instr copy = ins;
+    copy.a = mapped(ins.a);
+    copy.b = mapped(ins.b);
+    copy.args.clear();
+    for (ValueId a : ins.args) copy.args.push_back(mapped(a));
+    if (ins.dst != kNoValue) {
+      copy.dst = out.fresh();
+      map[static_cast<std::size_t>(ins.dst)] = copy.dst;
+    }
+    out.body.push_back(std::move(copy));
+  }
+}
+
+ValueId splice(const Program& program, Function& out, const Function& callee,
+               const std::vector<ValueId>& args, int depth) {
+  std::vector<ValueId> map(static_cast<std::size_t>(callee.next_value), kNoValue);
+  for (std::size_t i = 0; i < callee.params.size(); ++i) {
+    const ValueId formal = callee.params[i];
+    ValueId actual = kNoValue;
+    if (i < args.size()) actual = args[i];
+    if (actual == kNoValue) {
+      // Missing argument: opaque.
+      Instr u{Op::kUnknown};
+      u.dst = out.fresh();
+      out.body.push_back(u);
+      actual = u.dst;
+    }
+    map[static_cast<std::size_t>(formal)] = actual;
+  }
+  inline_into(program, out, callee, map, depth);
+  // Convention: a callee "returns" its last defined value; if it defines
+  // nothing, the result is opaque.
+  ValueId result = kNoValue;
+  for (auto it = callee.body.rbegin(); it != callee.body.rend(); ++it) {
+    if (it->dst != kNoValue) {
+      result = map[static_cast<std::size_t>(it->dst)];
+      break;
+    }
+  }
+  if (result == kNoValue) {
+    Instr u{Op::kUnknown};
+    u.dst = out.fresh();
+    out.body.push_back(u);
+    result = u.dst;
+  }
+  return result;
+}
+
+}  // namespace
+
+Function inline_calls(const Program& program, const Function& entry, int depth) {
+  Function out;
+  out.name = entry.name + ".inlined";
+  std::vector<ValueId> map(static_cast<std::size_t>(entry.next_value), kNoValue);
+  for (ValueId p : entry.params) {
+    const ValueId np = out.fresh();
+    out.params.push_back(np);
+    map[static_cast<std::size_t>(p)] = np;
+  }
+  inline_into(program, out, entry, map, depth);
+  return out;
+}
+
+std::string to_string(const Function& f) {
+  std::ostringstream os;
+  os << "func " << f.name << "(";
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    os << (i != 0 ? ", " : "") << "%" << f.params[i];
+  }
+  os << ")\n";
+  auto v = [](ValueId id) {
+    return id == kNoValue ? std::string("_") : "%" + std::to_string(id);
+  };
+  for (const Instr& ins : f.body) {
+    os << "  ";
+    switch (ins.op) {
+      case Op::kTxAlloc: os << v(ins.dst) << " = txalloc"; break;
+      case Op::kAllocaTx: os << v(ins.dst) << " = alloca_tx"; break;
+      case Op::kAllocaPre: os << v(ins.dst) << " = alloca_pre"; break;
+      case Op::kGep:
+        os << v(ins.dst) << " = gep " << v(ins.a) << ", " << ins.offset;
+        break;
+      case Op::kMove: os << v(ins.dst) << " = move " << v(ins.a); break;
+      case Op::kPhi:
+        os << v(ins.dst) << " = phi " << v(ins.a) << ", " << v(ins.b);
+        break;
+      case Op::kLoad:
+        os << v(ins.dst) << " = load " << v(ins.a) << "+" << ins.offset
+           << "  ; site " << ins.site;
+        break;
+      case Op::kStore:
+        os << "store " << v(ins.a) << "+" << ins.offset << ", " << v(ins.b)
+           << "  ; site " << ins.site;
+        break;
+      case Op::kCall: {
+        os << v(ins.dst) << " = call " << ins.callee << "(";
+        for (std::size_t i = 0; i < ins.args.size(); ++i) {
+          os << (i != 0 ? ", " : "") << v(ins.args[i]);
+        }
+        os << ")";
+        break;
+      }
+      case Op::kUnknown: os << v(ins.dst) << " = unknown"; break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cstm::txir

@@ -1,0 +1,164 @@
+// Miniature IR over which the compiler capture analysis runs (paper
+// Section 3.2). The Intel compiler performed intraprocedural pointer
+// analysis on C ASTs and relied on inlining to see across calls; txir
+// reproduces that pipeline on an explicit IR:
+//
+//   %p = txalloc 64           ; heap allocation inside the transaction
+//   %q = alloca_tx 16         ; stack local declared inside the atomic block
+//   %r = alloca_pre 16        ; stack local live before the transaction
+//   %f = gep %p, 8            ; pointer arithmetic within a block
+//   %v = load %p, 8           ; memory read through %p  (site of a barrier)
+//   store %p, 8, %v           ; memory write through %p (site of a barrier)
+//   %x = move %y              ; copy
+//   %z = phi %a, %b           ; control-flow join
+//   %w = call foo, %p, %q     ; call; may be inlined if foo is known
+//   %c = unknown              ; opaque value (e.g. loaded from memory)
+//
+// The analysis computes, per value, whether it must point into memory
+// captured by the current transaction; loads/stores through captured
+// pointers need no STM barrier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cstm::txir {
+
+using ValueId = std::int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+enum class Op : std::uint8_t {
+  kTxAlloc,    // dst = transaction-local heap allocation
+  kAllocaTx,   // dst = stack slot created inside the atomic block
+  kAllocaPre,  // dst = stack slot that pre-exists the transaction (live-in)
+  kGep,        // dst = a + constant offset (same block)
+  kMove,       // dst = a
+  kPhi,        // dst = join(a, b)
+  kLoad,       // dst = *(a + offset)      [read barrier site]
+  kStore,      // *(a + offset) = b        [write barrier site]
+  kCall,       // dst = callee(args...)
+  kUnknown,    // dst = opaque
+};
+
+struct Instr {
+  Instr() = default;
+  explicit Instr(Op o) : op(o) {}
+
+  Op op = Op::kUnknown;
+  ValueId dst = kNoValue;
+  ValueId a = kNoValue;      // base pointer / first operand
+  ValueId b = kNoValue;      // stored value / second phi operand
+  std::int64_t offset = 0;   // gep/load/store displacement
+  std::string callee;        // kCall only
+  std::vector<ValueId> args; // kCall only
+  std::string site;          // label for load/store barrier sites
+};
+
+struct Function {
+  std::string name;
+  std::vector<ValueId> params;  // parameters are opaque pointers/values
+  std::vector<Instr> body;
+  ValueId next_value = 0;
+
+  ValueId fresh() { return next_value++; }
+};
+
+/// A program is a set of functions; analysis entry points name a function.
+struct Program {
+  std::unordered_map<std::string, Function> functions;
+
+  Function& add(std::string name) {
+    auto [it, inserted] = functions.try_emplace(name);
+    it->second.name = std::move(name);
+    return it->second;
+  }
+  const Function* find(const std::string& name) const {
+    auto it = functions.find(name);
+    return it == functions.end() ? nullptr : &it->second;
+  }
+};
+
+/// Builder with a fluent interface used by tests and the kernel encodings.
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(Function& f) : f_(f) {}
+
+  ValueId param() {
+    const ValueId v = f_.fresh();
+    f_.params.push_back(v);
+    return v;
+  }
+  ValueId txalloc() { return emit_def(Op::kTxAlloc); }
+  ValueId alloca_tx() { return emit_def(Op::kAllocaTx); }
+  ValueId alloca_pre() { return emit_def(Op::kAllocaPre); }
+  ValueId unknown() { return emit_def(Op::kUnknown); }
+  ValueId gep(ValueId base, std::int64_t off) {
+    Instr i{Op::kGep};
+    i.dst = f_.fresh();
+    i.a = base;
+    i.offset = off;
+    f_.body.push_back(i);
+    return i.dst;
+  }
+  ValueId move(ValueId src) {
+    Instr i{Op::kMove};
+    i.dst = f_.fresh();
+    i.a = src;
+    f_.body.push_back(i);
+    return i.dst;
+  }
+  ValueId phi(ValueId x, ValueId y) {
+    Instr i{Op::kPhi};
+    i.dst = f_.fresh();
+    i.a = x;
+    i.b = y;
+    f_.body.push_back(i);
+    return i.dst;
+  }
+  ValueId load(ValueId base, std::int64_t off, std::string site) {
+    Instr i{Op::kLoad};
+    i.dst = f_.fresh();
+    i.a = base;
+    i.offset = off;
+    i.site = std::move(site);
+    f_.body.push_back(i);
+    return i.dst;
+  }
+  void store(ValueId base, std::int64_t off, ValueId value, std::string site) {
+    Instr i{Op::kStore};
+    i.a = base;
+    i.b = value;
+    i.offset = off;
+    i.site = std::move(site);
+    f_.body.push_back(i);
+  }
+  ValueId call(std::string callee, std::vector<ValueId> args) {
+    Instr i{Op::kCall};
+    i.dst = f_.fresh();
+    i.callee = std::move(callee);
+    i.args = std::move(args);
+    f_.body.push_back(i);
+    return i.dst;
+  }
+
+ private:
+  ValueId emit_def(Op op) {
+    Instr i{op};
+    i.dst = f_.fresh();
+    f_.body.push_back(i);
+    return i.dst;
+  }
+  Function& f_;
+};
+
+/// Returns a copy of @p entry with calls to functions known in @p program
+/// substituted (value-renamed) up to @p depth levels. Remaining calls stay
+/// opaque — exactly the paper's "intraprocedural analysis + inlining".
+Function inline_calls(const Program& program, const Function& entry, int depth);
+
+/// Human-readable dump (diagnostics and golden tests).
+std::string to_string(const Function& f);
+
+}  // namespace cstm::txir

@@ -1,0 +1,136 @@
+#include "txir/kernels.hpp"
+
+namespace cstm::txir {
+
+Program stamp_kernels() {
+  Program p;
+
+  // -- helper: PVECTOR_ALLOC-style allocator wrapper (inlinable) -------------
+  {
+    Function& f = p.add("pvector_alloc");
+    FunctionBuilder b(f);
+    const ValueId n = b.param();
+    (void)n;
+    const ValueId v = b.txalloc();
+    b.store(v, 0, n, "pvector.init.size");
+    b.move(v);  // "return" the vector (last def convention)
+  }
+
+  // -- list_insert: node allocated in-tx, initialized, linked into a shared
+  //    list (the dominant STAMP write pattern: ~90% of write barriers hit
+  //    captured memory because of inits like these).
+  {
+    Function& f = p.add("list_insert");
+    FunctionBuilder b(f);
+    const ValueId list = b.param();
+    const ValueId value = b.param();
+    const ValueId node = b.txalloc();
+    b.store(node, 0, value, "list.node.init.value");
+    const ValueId head = b.load(list, 0, "list.head.read");
+    b.store(node, 8, head, "list.node.init.next");
+    b.store(list, 0, node, "list.link");
+  }
+
+  // -- iter_loop: Figure 1(a): a list iterator allocated on the stack inside
+  //    the transaction; iterator-state accesses are captured, node accesses
+  //    through pointers loaded from memory are not.
+  {
+    Function& f = p.add("iter_loop");
+    FunctionBuilder b(f);
+    const ValueId list = b.param();
+    const ValueId it = b.alloca_tx();
+    const ValueId head = b.load(list, 0, "iter.list.head");
+    b.store(it, 0, head, "iter.init");
+    const ValueId cur = b.load(it, 0, "iter.cur.read");
+    const ValueId next = b.load(cur, 8, "iter.node.next");
+    b.store(it, 0, next, "iter.advance");
+  }
+
+  // -- vacation_query: Figure 1(b): a query vector allocated via a helper;
+  //    provable only when the helper is inlined.
+  {
+    Function& f = p.add("vacation_query");
+    FunctionBuilder b(f);
+    const ValueId n = b.param();
+    const ValueId qv = b.call("pvector_alloc", {n});
+    b.store(qv, 8, n, "query.push");
+    const ValueId e = b.load(qv, 8, "query.read");
+    (void)e;
+  }
+
+  // -- kmeans_update: all accesses target shared cluster centers passed in
+  //    from outside — zero capture opportunity (matches Fig. 8's kmeans).
+  {
+    Function& f = p.add("kmeans_update");
+    FunctionBuilder b(f);
+    const ValueId center = b.param();
+    const ValueId delta = b.param();
+    const ValueId old = b.load(center, 0, "kmeans.center.read");
+    const ValueId sum = b.phi(old, delta);  // stand-in for arithmetic
+    b.store(center, 0, sum, "kmeans.center.write");
+  }
+
+  // -- pre_tx_buffer: a stack buffer that pre-exists the transaction holds
+  //    live-in values; the analysis must keep its barrier.
+  {
+    Function& f = p.add("pre_tx_buffer");
+    FunctionBuilder b(f);
+    const ValueId buf = b.alloca_pre();
+    const ValueId v = b.param();
+    b.store(buf, 0, v, "pretx.store");
+  }
+
+  // -- rbtree_insert: tree node allocated in-tx; field initialization is
+  //    captured, rebalancing touches shared nodes.
+  {
+    Function& f = p.add("rbtree_insert");
+    FunctionBuilder b(f);
+    const ValueId tree = b.param();
+    const ValueId key = b.param();
+    const ValueId node = b.txalloc();
+    b.store(node, 0, key, "rbtree.node.init.key");
+    b.store(node, 8, key, "rbtree.node.init.value");
+    const ValueId root = b.load(tree, 0, "rbtree.root.read");
+    const ValueId child = b.load(root, 16, "rbtree.child.read");
+    b.store(child, 24, node, "rbtree.attach");
+  }
+
+  // -- phi_merge: both sides of a join allocate in-tx => still captured;
+  //    one unknown side kills the fact.
+  {
+    Function& f = p.add("phi_merge");
+    FunctionBuilder b(f);
+    const ValueId shared = b.param();
+    const ValueId x = b.txalloc();
+    const ValueId y = b.txalloc();
+    const ValueId both = b.phi(x, y);
+    b.store(both, 0, shared, "phi.both.captured");
+    const ValueId mixed = b.phi(x, shared);
+    b.store(mixed, 0, shared, "phi.mixed");
+  }
+
+  return p;
+}
+
+std::vector<KernelExpectation> stamp_kernel_expectations() {
+  return {
+      {"list_insert", 0,
+       {"list.node.init.value", "list.node.init.next"},
+       {"list.head.read", "list.link"}},
+      {"iter_loop", 0,
+       {"iter.init", "iter.cur.read", "iter.advance"},
+       {"iter.list.head", "iter.node.next"}},
+      // Strictly intraprocedural: the helper's allocation is invisible.
+      {"vacation_query", 0, {}, {"query.push", "query.read"}},
+      // With inlining (the paper's configuration) the sites become elidable.
+      {"vacation_query", 2, {"query.push", "query.read", "pvector.init.size"}, {}},
+      {"kmeans_update", 0, {}, {"kmeans.center.read", "kmeans.center.write"}},
+      {"pre_tx_buffer", 0, {}, {"pretx.store"}},
+      {"rbtree_insert", 0,
+       {"rbtree.node.init.key", "rbtree.node.init.value"},
+       {"rbtree.root.read", "rbtree.child.read", "rbtree.attach"}},
+      {"phi_merge", 0, {"phi.both.captured"}, {"phi.mixed"}},
+  };
+}
+
+}  // namespace cstm::txir

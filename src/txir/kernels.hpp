@@ -1,0 +1,31 @@
+// txir encodings of representative STAMP transactional kernels.
+//
+// The execution-side benchmarks (src/stamp) tag each access site with a
+// static_captured flag consumed by the "compiler" configuration. These
+// kernels are the analysis-side justification: tests run the capture
+// analysis over them and cross-check that every site the benchmarks elide
+// statically is proven captured here, and every site they keep is not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "txir/ir.hpp"
+
+namespace cstm::txir {
+
+/// Builds the kernel program (entry functions listed below plus inlinable
+/// helpers such as the pvector allocator).
+Program stamp_kernels();
+
+struct KernelExpectation {
+  std::string entry;
+  int inline_depth;                         // 0 = strictly intraprocedural
+  std::vector<std::string> elidable_sites;  // proven captured
+  std::vector<std::string> barrier_sites;   // must keep the STM barrier
+};
+
+/// Ground truth table used by tests and by the stamp site tables.
+std::vector<KernelExpectation> stamp_kernel_expectations();
+
+}  // namespace cstm::txir

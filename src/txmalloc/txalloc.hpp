@@ -1,0 +1,70 @@
+// Transactional allocation API (paper Section 3.1.2).
+//
+// Allocations inside a transaction are (a) logged in the transaction's
+// allocation log so barriers can elide accesses to captured memory, and
+// (b) registered for rollback: malloc-in-tx is undone on abort, free-in-tx
+// of pre-transaction memory is deferred until commit.
+#pragma once
+
+#include <new>
+#include <utility>
+
+#include "stm/descriptor.hpp"
+#include "txmalloc/pool.hpp"
+
+namespace cstm {
+
+/// Allocates @p n bytes. Inside a transaction the block is recorded in the
+/// allocation log (enabling heap capture analysis) and freed automatically
+/// if the transaction aborts.
+inline void* tx_malloc(Tx& tx, std::size_t n) {
+  std::size_t usable = 0;
+  void* p = Pool::local().allocate(n, &usable);
+  if (tx.in_tx()) {
+    ++tx.stats.tx_allocs;
+    tx.alloc.allocs.push_back(AllocRecord{p, usable, false});
+    if (tx.cfg.heap_log_needed()) tx.active_alloc_log().insert(p, usable);
+  }
+  return p;
+}
+
+/// Frees @p p. Inside a transaction: a block allocated by this transaction
+/// is removed from the allocation log and released at transaction end; a
+/// pre-transaction block is released only if the transaction commits.
+inline void tx_free(Tx& tx, void* p) {
+  if (p == nullptr) return;
+  if (!tx.in_tx()) {
+    Pool::deallocate(p);
+    return;
+  }
+  ++tx.stats.tx_frees;
+  auto& allocs = tx.alloc.allocs;
+  for (std::size_t i = allocs.size(); i-- > 0;) {
+    if (allocs[i].ptr == p && !allocs[i].freed_in_tx) {
+      allocs[i].freed_in_tx = true;
+      tx.freed_events.push_back(i);  // replayed backwards on partial abort
+      if (tx.cfg.heap_log_needed()) {
+        tx.active_alloc_log().erase(p, allocs[i].size);
+      }
+      return;
+    }
+  }
+  tx.alloc.deferred_frees.push_back(p);
+}
+
+/// Typed allocation helpers for trivially destructible payloads (the only
+/// kind the transactional containers store in shared memory).
+template <typename T, typename... Args>
+T* tx_new(Tx& tx, Args&&... args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "transactional objects must be trivially destructible");
+  void* p = tx_malloc(tx, sizeof(T));
+  return ::new (p) T(std::forward<Args>(args)...);
+}
+
+template <typename T>
+void tx_delete(Tx& tx, T* p) {
+  tx_free(tx, const_cast<std::remove_const_t<T>*>(p));
+}
+
+}  // namespace cstm

@@ -1,0 +1,321 @@
+// Unit and property tests for the three allocation-log data structures
+// (paper Section 3.1.2): search tree, cache-line array, hash filter.
+//
+// The conservativeness contract is the key invariant: contains() may return
+// false negatives but never false positives.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "capture/alloc_log.hpp"
+#include "capture/array_log.hpp"
+#include "capture/filter_log.hpp"
+#include "capture/private_registry.hpp"
+#include "capture/tree_log.hpp"
+#include "support/random.hpp"
+
+namespace cstm {
+namespace {
+
+std::unique_ptr<AllocLog> make_log(AllocLogKind kind) {
+  switch (kind) {
+    case AllocLogKind::kTree: return std::make_unique<TreeAllocLog>();
+    case AllocLogKind::kArray: return std::make_unique<ArrayAllocLog>();
+    case AllocLogKind::kFilter: return std::make_unique<FilterAllocLog>();
+  }
+  return nullptr;
+}
+
+void* ptr(std::uintptr_t v) { return reinterpret_cast<void*>(v); }
+
+// ---------------------------------------------------------------------------
+// Behaviour shared by all three implementations.
+// ---------------------------------------------------------------------------
+
+class AllocLogAll : public ::testing::TestWithParam<AllocLogKind> {
+ protected:
+  std::unique_ptr<AllocLog> log_ = make_log(GetParam());
+};
+
+TEST_P(AllocLogAll, EmptyLogContainsNothing) {
+  EXPECT_FALSE(log_->contains(ptr(0x1000), 8));
+  EXPECT_EQ(log_->entries(), 0u);
+}
+
+TEST_P(AllocLogAll, InsertedBlockInteriorWordsNeverFalselyExcludeBase) {
+  log_->insert(ptr(0x10000), 64);
+  // Conservativeness: whatever contains() says must be safe. For the base
+  // word of a freshly inserted block all three structures answer true.
+  EXPECT_TRUE(log_->contains(ptr(0x10000), 8));
+}
+
+TEST_P(AllocLogAll, NeverContainsUnloggedMemory) {
+  log_->insert(ptr(0x10000), 64);
+  log_->insert(ptr(0x20000), 128);
+  EXPECT_FALSE(log_->contains(ptr(0x30000), 8));
+  EXPECT_FALSE(log_->contains(ptr(0xfff8), 8));   // just below block
+  EXPECT_FALSE(log_->contains(ptr(0x10040), 8));  // just past block end
+}
+
+TEST_P(AllocLogAll, AccessStraddlingBlockEndIsNotContained) {
+  log_->insert(ptr(0x10000), 64);
+  EXPECT_FALSE(log_->contains(ptr(0x10038), 16));  // last 8 in, next 8 out
+}
+
+TEST_P(AllocLogAll, EraseRemovesBlock) {
+  log_->insert(ptr(0x10000), 64);
+  log_->erase(ptr(0x10000), 64);
+  EXPECT_FALSE(log_->contains(ptr(0x10000), 8));
+  EXPECT_EQ(log_->entries(), 0u);
+}
+
+TEST_P(AllocLogAll, ClearEmptiesLog) {
+  log_->insert(ptr(0x10000), 64);
+  log_->insert(ptr(0x20000), 64);
+  log_->clear();
+  EXPECT_FALSE(log_->contains(ptr(0x10000), 8));
+  EXPECT_FALSE(log_->contains(ptr(0x20000), 8));
+  EXPECT_EQ(log_->entries(), 0u);
+}
+
+TEST_P(AllocLogAll, ReusableAfterClear) {
+  log_->insert(ptr(0x10000), 64);
+  log_->clear();
+  log_->insert(ptr(0x20000), 64);
+  EXPECT_TRUE(log_->contains(ptr(0x20000), 8));
+  EXPECT_FALSE(log_->contains(ptr(0x10000), 8));
+}
+
+TEST_P(AllocLogAll, ZeroSizeInsertIgnored) {
+  log_->insert(ptr(0x10000), 0);
+  EXPECT_FALSE(log_->contains(ptr(0x10000), 1));
+}
+
+// Property: against a reference set of disjoint blocks, no false positives,
+// and (for the precise tree) no false negatives either.
+TEST_P(AllocLogAll, RandomizedConservativenessProperty) {
+  Xoshiro256 rng(42 + static_cast<int>(GetParam()));
+  std::map<std::uintptr_t, std::size_t> reference;  // base -> size
+  for (int round = 0; round < 2000; ++round) {
+    const int op = static_cast<int>(rng.below(10));
+    if (op < 5) {
+      // Insert a fresh disjoint block: slots at 1 KiB boundaries.
+      const std::uintptr_t base = 0x100000 + rng.below(512) * 1024;
+      const std::size_t size = 8u << rng.below(7);  // 8..512
+      if (!reference.contains(base)) {
+        reference[base] = size;
+        log_->insert(ptr(base), size);
+      }
+    } else if (op < 7 && !reference.empty()) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.below(reference.size())));
+      log_->erase(ptr(it->first), it->second);
+      reference.erase(it);
+    } else {
+      // Query a random word-aligned address in the arena.
+      const std::uintptr_t a = 0x100000 + rng.below(512 * 1024 / 8) * 8;
+      const bool got = log_->contains(ptr(a), 8);
+      auto it = reference.upper_bound(a);
+      const bool truth = it != reference.begin() &&
+                         (--it, a + 8 <= it->first + it->second);
+      if (got) {
+        EXPECT_TRUE(truth) << "false positive at " << std::hex << a << " in "
+                           << log_->name();
+      }
+      if (GetParam() == AllocLogKind::kTree) {
+        EXPECT_EQ(got, truth) << "tree must be precise";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AllocLogAll,
+                         ::testing::Values(AllocLogKind::kTree,
+                                           AllocLogKind::kArray,
+                                           AllocLogKind::kFilter),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Tree-specific: precision and balance.
+// ---------------------------------------------------------------------------
+
+TEST(TreeLog, PreciseOverManyBlocks) {
+  TreeAllocLog log;
+  for (std::uintptr_t i = 0; i < 1000; ++i) {
+    log.insert(ptr(0x100000 + i * 256), 128);
+  }
+  EXPECT_EQ(log.entries(), 1000u);
+  for (std::uintptr_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(log.contains(ptr(0x100000 + i * 256 + 120), 8));
+    EXPECT_FALSE(log.contains(ptr(0x100000 + i * 256 + 128), 8));
+  }
+}
+
+TEST(TreeLog, StaysBalancedUnderAscendingInsert) {
+  TreeAllocLog log;
+  for (std::uintptr_t i = 0; i < 4096; ++i) {
+    log.insert(ptr(0x100000 + i * 64), 32);
+  }
+  // AVL height bound: 1.44 * log2(n+2) ~ 17.3 for n=4096.
+  EXPECT_LE(log.height(), 18);
+}
+
+TEST(TreeLog, StaysBalancedUnderDescendingInsert) {
+  TreeAllocLog log;
+  for (std::uintptr_t i = 4096; i-- > 0;) {
+    log.insert(ptr(0x100000 + i * 64), 32);
+  }
+  EXPECT_LE(log.height(), 18);
+}
+
+TEST(TreeLog, EraseInterleavedKeepsPrecision) {
+  TreeAllocLog log;
+  for (std::uintptr_t i = 0; i < 256; ++i) log.insert(ptr(0x1000 + i * 64), 64);
+  for (std::uintptr_t i = 0; i < 256; i += 2) log.erase(ptr(0x1000 + i * 64), 64);
+  for (std::uintptr_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(log.contains(ptr(0x1000 + i * 64), 8), i % 2 == 1) << i;
+  }
+  EXPECT_EQ(log.entries(), 128u);
+}
+
+TEST(TreeLog, NodeRecyclingBoundsArena) {
+  TreeAllocLog log;
+  for (int round = 0; round < 100; ++round) {
+    for (std::uintptr_t i = 0; i < 64; ++i) log.insert(ptr(0x1000 + i * 64), 64);
+    for (std::uintptr_t i = 0; i < 64; ++i) log.erase(ptr(0x1000 + i * 64), 64);
+  }
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Array-specific: capacity and overflow behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ArrayLog, CapacityIsOneCacheLine) {
+  EXPECT_EQ(ArrayAllocLog::kCapacity, 4u);
+}
+
+TEST(ArrayLog, OverflowDropsConservatively) {
+  ArrayAllocLog log;
+  for (std::uintptr_t i = 0; i < 6; ++i) log.insert(ptr(0x1000 + i * 0x100), 64);
+  EXPECT_EQ(log.entries(), 4u);
+  EXPECT_EQ(log.dropped(), 2u);
+  // First four tracked, last two conservatively missing.
+  EXPECT_TRUE(log.contains(ptr(0x1000), 8));
+  EXPECT_TRUE(log.contains(ptr(0x1300), 8));
+  EXPECT_FALSE(log.contains(ptr(0x1400), 8));
+  EXPECT_FALSE(log.contains(ptr(0x1500), 8));
+}
+
+TEST(ArrayLog, EraseFreesSlotForReuse) {
+  ArrayAllocLog log;
+  for (std::uintptr_t i = 0; i < 4; ++i) log.insert(ptr(0x1000 + i * 0x100), 64);
+  log.erase(ptr(0x1100), 64);
+  log.insert(ptr(0x9000), 64);
+  EXPECT_TRUE(log.contains(ptr(0x9000), 8));
+  EXPECT_FALSE(log.contains(ptr(0x1100), 8));
+  EXPECT_EQ(log.entries(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Filter-specific: word marking, epoch clear, collision behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(FilterLog, MarksEveryWordOfBlock) {
+  FilterAllocLog log;
+  log.insert(ptr(0x10000), 64);
+  for (std::uintptr_t off = 0; off < 64; off += 8) {
+    EXPECT_TRUE(log.contains(ptr(0x10000 + off), 8)) << off;
+  }
+  EXPECT_FALSE(log.contains(ptr(0x10040), 8));
+}
+
+TEST(FilterLog, UnalignedAccessWithinBlockContained) {
+  FilterAllocLog log;
+  log.insert(ptr(0x10000), 64);
+  EXPECT_TRUE(log.contains(ptr(0x10004), 4));
+  EXPECT_TRUE(log.contains(ptr(0x10004), 8));  // straddles two marked words
+}
+
+TEST(FilterLog, ClearIsEpochBasedAndCheap) {
+  FilterAllocLog log;
+  log.insert(ptr(0x10000), 4096);
+  log.clear();
+  EXPECT_FALSE(log.contains(ptr(0x10000), 8));
+  // A block from a new epoch at the same address works.
+  log.insert(ptr(0x10000), 8);
+  EXPECT_TRUE(log.contains(ptr(0x10000), 8));
+}
+
+TEST(FilterLog, CollisionsProduceOnlyFalseNegatives) {
+  FilterAllocLog log(4);  // 16 slots: force collisions
+  std::vector<std::uintptr_t> bases;
+  for (std::uintptr_t i = 0; i < 64; ++i) {
+    bases.push_back(0x10000 + i * 0x100);
+    log.insert(ptr(bases.back()), 8);
+  }
+  // Nothing outside the inserted set may be contained.
+  for (std::uintptr_t probe = 0x8000; probe < 0x9000; probe += 8) {
+    EXPECT_FALSE(log.contains(ptr(probe), 8));
+  }
+}
+
+TEST(FilterLog, LargeBlockInsertionCapIsConservative) {
+  FilterAllocLog log;
+  const std::size_t big = (FilterAllocLog::kMaxWordsPerBlock + 16) * 8;
+  std::vector<std::uint64_t> arena(big / 8);
+  log.insert(arena.data(), big);
+  EXPECT_GT(log.words_skipped(), 0u);
+  // Words beyond the cap are conservatively absent.
+  EXPECT_FALSE(log.contains(&arena[FilterAllocLog::kMaxWordsPerBlock + 1], 8));
+  // Collisions may evict any word (false negatives allowed); at least some
+  // marked words must survive in a table as large as the block.
+  std::size_t present = 0;
+  for (std::size_t i = 0; i < FilterAllocLog::kMaxWordsPerBlock; ++i) {
+    if (log.contains(&arena[i], 8)) ++present;
+  }
+  EXPECT_GT(present, FilterAllocLog::kMaxWordsPerBlock / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Private-region registry (annotation APIs, Section 3.1.3).
+// ---------------------------------------------------------------------------
+
+TEST(PrivateRegistry, AddRemoveLifecycle) {
+  PrivateRegistry reg;
+  std::uint64_t data[8];
+  reg.add(data, sizeof(data));
+  EXPECT_TRUE(reg.contains(&data[3], 8));
+  reg.remove(data, sizeof(data));
+  EXPECT_FALSE(reg.contains(&data[3], 8));
+}
+
+TEST(PrivateRegistry, PersistsAcrossManyQueries) {
+  PrivateRegistry reg;
+  std::vector<std::uint64_t> a(100), b(100);
+  reg.add(a.data(), 100 * 8);
+  EXPECT_TRUE(reg.contains(&a[99], 8));
+  EXPECT_FALSE(reg.contains(&b[0], 8));
+}
+
+TEST(PrivateRegistry, ThreadRegistryIsPerThread) {
+  std::uint64_t datum = 0;
+  add_private_memory_block(&datum, sizeof(datum));
+  EXPECT_TRUE(thread_private_registry().contains(&datum, 8));
+  bool other_thread_sees = true;
+  std::thread([&] {
+    other_thread_sees = thread_private_registry().contains(&datum, 8);
+  }).join();
+  EXPECT_FALSE(other_thread_sees);
+  remove_private_memory_block(&datum, sizeof(datum));
+  EXPECT_FALSE(thread_private_registry().contains(&datum, 8));
+}
+
+}  // namespace
+}  // namespace cstm

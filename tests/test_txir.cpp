@@ -1,0 +1,241 @@
+// Tests for the txir compiler capture analysis (paper Section 3.2).
+#include <gtest/gtest.h>
+
+#include "txir/capture_analysis.hpp"
+#include "txir/ir.hpp"
+#include "txir/kernels.hpp"
+
+namespace cstm::txir {
+namespace {
+
+TEST(TxIr, TxAllocIsCaptured) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.txalloc();
+  b.store(x, 0, x, "s");
+  const AnalysisResult r = analyze(f);
+  EXPECT_TRUE(r.site_elidable("s"));
+}
+
+TEST(TxIr, AllocaTxIsCaptured) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.alloca_tx();
+  (void)b.load(x, 0, "l");
+  EXPECT_TRUE(analyze(f).site_elidable("l"));
+}
+
+TEST(TxIr, AllocaPreIsNotCaptured) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.alloca_pre();
+  b.store(x, 0, x, "s");
+  EXPECT_FALSE(analyze(f).site_elidable("s"));
+}
+
+TEST(TxIr, ParametersAreUnknown) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.param();
+  (void)b.load(x, 0, "l");
+  EXPECT_FALSE(analyze(f).site_elidable("l"));
+}
+
+TEST(TxIr, GepAndMovePreserveCapture) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.txalloc();
+  const ValueId y = b.gep(x, 16);
+  const ValueId z = b.move(y);
+  b.store(z, 8, x, "s");
+  EXPECT_TRUE(analyze(f).site_elidable("s"));
+}
+
+TEST(TxIr, LoadedPointerIsUnknownEvenFromCapturedMemory) {
+  // The stored bits could be a shared pointer: loading from captured memory
+  // yields an opaque value. This is the conservativeness the paper accepts.
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.txalloc();
+  const ValueId q = b.load(x, 0, "l1");  // elidable load...
+  (void)b.load(q, 0, "l2");              // ...of an unknown pointer
+  const AnalysisResult r = analyze(f);
+  EXPECT_TRUE(r.site_elidable("l1"));
+  EXPECT_FALSE(r.site_elidable("l2"));
+}
+
+TEST(TxIr, StoringCapturedPointerDoesNotKillCapture) {
+  // The transactional insight: escaping through a shared pointer does not
+  // publish the memory until commit, so later direct accesses stay elidable.
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId shared = b.param();
+  const ValueId x = b.txalloc();
+  b.store(shared, 0, x, "publish");   // needs a barrier (shared base)
+  b.store(x, 0, shared, "after");     // still elidable
+  const AnalysisResult r = analyze(f);
+  EXPECT_FALSE(r.site_elidable("publish"));
+  EXPECT_TRUE(r.site_elidable("after"));
+}
+
+TEST(TxIr, OpaqueCallArgumentsDoNotKillCapture) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.txalloc();
+  (void)b.call("extern_fn", {x});
+  b.store(x, 0, x, "s");
+  EXPECT_TRUE(analyze(f).site_elidable("s"));
+}
+
+TEST(TxIr, OpaqueCallResultIsUnknown) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId r = b.call("extern_alloc", {});
+  b.store(r, 0, r, "s");
+  EXPECT_FALSE(analyze(f).site_elidable("s"));
+}
+
+TEST(TxIr, PhiRequiresAllInputsCaptured) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId a = b.txalloc();
+  const ValueId c = b.txalloc();
+  const ValueId u = b.param();
+  const ValueId both = b.phi(a, c);
+  const ValueId mixed = b.phi(a, u);
+  b.store(both, 0, u, "both");
+  b.store(mixed, 0, u, "mixed");
+  const AnalysisResult r = analyze(f);
+  EXPECT_TRUE(r.site_elidable("both"));
+  EXPECT_FALSE(r.site_elidable("mixed"));
+}
+
+TEST(TxIr, LoopPhiReachesFixpoint) {
+  // it = alloc; loop: it2 = phi(it, gep it2) — textual forward reference.
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.txalloc();
+  // Build the phi manually so it references a later gep.
+  const ValueId phi_dst = f.next_value + 1;  // the gep will take next_value
+  const ValueId g = b.gep(x, 8);
+  const ValueId ph = b.phi(x, g);
+  EXPECT_EQ(ph, phi_dst);
+  b.store(ph, 0, x, "loop");
+  EXPECT_TRUE(analyze(f).site_elidable("loop"));
+}
+
+TEST(TxIr, InliningExtendsAnalysisAcrossCalls) {
+  Program p;
+  {
+    Function& helper = p.add("helper_alloc");
+    FunctionBuilder b(helper);
+    const ValueId v = b.txalloc();
+    b.store(v, 0, v, "helper.init");
+  }
+  {
+    Function& f = p.add("entry");
+    FunctionBuilder b(f);
+    const ValueId r = b.call("helper_alloc", {});
+    b.store(r, 0, r, "entry.use");
+  }
+  EXPECT_FALSE(analyze(p, "entry", 0).site_elidable("entry.use"));
+  EXPECT_TRUE(analyze(p, "entry", 1).site_elidable("entry.use"));
+}
+
+TEST(TxIr, InlineDepthLimits) {
+  Program p;
+  {
+    Function& l2 = p.add("level2");
+    FunctionBuilder b(l2);
+    b.txalloc();
+  }
+  {
+    Function& l1 = p.add("level1");
+    FunctionBuilder b(l1);
+    (void)b.call("level2", {});
+  }
+  {
+    Function& f = p.add("entry");
+    FunctionBuilder b(f);
+    const ValueId r = b.call("level1", {});
+    b.store(r, 0, r, "use");
+  }
+  EXPECT_FALSE(analyze(p, "entry", 1).site_elidable("use"));
+  EXPECT_TRUE(analyze(p, "entry", 2).site_elidable("use"));
+}
+
+TEST(TxIr, InlinedParameterBindingPropagatesCapture) {
+  Program p;
+  {
+    // helper(q): store into q.
+    Function& h = p.add("store_into");
+    FunctionBuilder b(h);
+    const ValueId q = b.param();
+    b.store(q, 0, q, "helper.store");
+  }
+  {
+    Function& f = p.add("entry");
+    FunctionBuilder b(f);
+    const ValueId x = b.txalloc();
+    (void)b.call("store_into", {x});
+  }
+  EXPECT_FALSE(analyze(p, "entry", 0).site_elidable("helper.store"));
+  EXPECT_TRUE(analyze(p, "entry", 1).site_elidable("helper.store"));
+}
+
+TEST(TxIr, DumpIsStable) {
+  Program p;
+  Function& f = p.add("f");
+  FunctionBuilder b(f);
+  const ValueId x = b.txalloc();
+  b.store(x, 0, x, "s");
+  const std::string dump = to_string(f);
+  EXPECT_NE(dump.find("txalloc"), std::string::npos);
+  EXPECT_NE(dump.find("store"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel ground truth: every expectation in the table must hold. These are
+// the same decisions the stamp site tables encode as static_captured.
+// ---------------------------------------------------------------------------
+
+class KernelTruth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelTruth, MatchesAnalysis) {
+  const auto expectations = stamp_kernel_expectations();
+  const KernelExpectation& e = expectations[GetParam()];
+  const Program p = stamp_kernels();
+  const AnalysisResult r = analyze(p, e.entry, e.inline_depth);
+  for (const std::string& site : e.elidable_sites) {
+    EXPECT_TRUE(r.site_elidable(site))
+        << e.entry << " (depth " << e.inline_depth << "): " << site
+        << " should be elidable";
+  }
+  for (const std::string& site : e.barrier_sites) {
+    EXPECT_FALSE(r.site_elidable(site))
+        << e.entry << " (depth " << e.inline_depth << "): " << site
+        << " must keep its barrier";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTruth,
+    ::testing::Range<std::size_t>(0, stamp_kernel_expectations().size()),
+    [](const auto& info) {
+      const auto e = stamp_kernel_expectations()[info.param];
+      return e.entry + "_d" + std::to_string(e.inline_depth);
+    });
+
+}  // namespace
+}  // namespace cstm::txir
