@@ -1,0 +1,27 @@
+// Shared main() body for the google-benchmark micro benches: translates the
+// repo-wide `--smoke` flag (used by the ctest bit-rot gate) into a
+// near-instant min_time before handing argv to google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+namespace cstm::bench {
+
+inline int gbench_main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.001";
+  for (auto& arg : args) {
+    if (std::string_view(arg) == "--smoke") arg = min_time;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cstm::bench

@@ -5,6 +5,8 @@
 // insertion costs.
 #include <benchmark/benchmark.h>
 
+#include "gbench_smoke.hpp"
+
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -87,4 +89,4 @@ BENCHMARK(BM_FilterLargeBlockInsert)->Arg(64)->Arg(1024)->Arg(16384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return cstm::bench::gbench_main(argc, argv); }

@@ -4,6 +4,8 @@
 // barrier). google-benchmark based.
 #include <benchmark/benchmark.h>
 
+#include "gbench_smoke.hpp"
+
 #include <cstdint>
 #include <vector>
 
@@ -111,9 +113,4 @@ BENCHMARK(BM_WriteBarrier_StaticElision);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  cstm::set_global_config(cstm::TxConfig::baseline());
-  return 0;
-}
+int main(int argc, char** argv) { return cstm::bench::gbench_main(argc, argv); }

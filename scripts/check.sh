@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 verify (release build + full ctest) followed by the
+# same test suite under AddressSanitizer. Also reachable as the `check`
+# CMake target (ctest only) once a build tree is configured.
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: release build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== ASan build + ctest =="
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs"
+
+echo "== check.sh: all green =="

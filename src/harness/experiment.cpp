@@ -29,10 +29,16 @@ Options parse_options(int argc, char** argv) {
       opt.threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       opt.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      // ctest bit-rot gate: exercise every code path in seconds, not minutes.
+      opt.scale = 0.01;
+      opt.reps = 1;
+      opt.threads = 2;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--scale S] [--reps N] [--threads T] [--seed X]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--scale S] [--reps N] [--threads T] [--seed X] [--smoke]\n",
+          argv[0]);
       std::exit(2);
     }
   }

@@ -33,24 +33,38 @@ std::uint32_t class_of(std::size_t n) {
   return kClassTable.idx[u];
 }
 
-std::mutex g_pool_mutex;
-std::vector<Pool*> g_parked;      // pools whose thread exited, ready for reuse
 std::size_t g_pool_count = 0;
 
+// Parked pools live forever (blocks may still point at their owner), so the
+// registry — and the mutex guarding it, which late-exiting threads lock from
+// their thread_local destructors — must outlive static destruction too.
+// Keeping the registry immortal also preserves LeakSanitizer's only
+// reachability root to the pools.
+std::mutex& pool_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<Pool*>& parked_pools() {
+  static std::vector<Pool*>* parked = new std::vector<Pool*>();
+  return *parked;
+}
+
 Pool* acquire_pool() {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
-  if (!g_parked.empty()) {
-    Pool* p = g_parked.back();
-    g_parked.pop_back();
+  std::lock_guard<std::mutex> lk(pool_mutex());
+  auto& parked = parked_pools();
+  if (!parked.empty()) {
+    Pool* p = parked.back();
+    parked.pop_back();
     return p;
   }
   ++g_pool_count;
-  return new Pool();  // intentionally leaked: parked on thread exit
+  return new Pool();  // intentionally immortal: parked on thread exit
 }
 
 void park_pool(Pool* p) {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
-  g_parked.push_back(p);
+  std::lock_guard<std::mutex> lk(pool_mutex());
+  parked_pools().push_back(p);
 }
 
 struct PoolHolder {
@@ -72,7 +86,7 @@ Pool& Pool::local() {
 }
 
 std::size_t Pool::pool_count() {
-  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  std::lock_guard<std::mutex> lk(pool_mutex());
   return g_pool_count;
 }
 

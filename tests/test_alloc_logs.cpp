@@ -5,6 +5,8 @@
 // false negatives but never false positives.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include <cstdint>
 #include <map>
 #include <memory>

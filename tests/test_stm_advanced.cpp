@@ -157,7 +157,7 @@ TEST_F(StmAdvanced, OpacityUnderMixedLoad) {
   std::atomic<std::uint64_t> bad{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&] {
+    threads.emplace_back([&, t] {
       Xoshiro256 rng(77 + static_cast<std::uint64_t>(t));
       while (!stop.load()) {
         if (rng.below(2) == 0) {
