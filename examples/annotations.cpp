@@ -5,7 +5,9 @@
 // The scenario mirrors the paper's motivating example: a lookup table is
 // written during initialization (shared, read-write), then becomes
 // read-only for a processing phase, then is re-partitioned per thread
-// (thread-local) for a second phase.
+// (thread-local) for a second phase. The table is a tvar_array bound to the
+// compiler-added "auto" Site: the annotation checks, not the Site, decide
+// what gets elided.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -15,7 +17,8 @@
 namespace {
 
 constexpr std::size_t kTableSize = 1024;
-alignas(64) std::uint64_t g_table[kTableSize];
+alignas(64) cstm::tvar_array<std::uint64_t, kTableSize, cstm::kAutoSite>
+    g_table;
 
 }  // namespace
 
@@ -28,7 +31,7 @@ int main() {
   // pay full barriers.
   atomic([](Tx& tx) {
     for (std::size_t i = 0; i < kTableSize; ++i) {
-      tm_write(tx, &g_table[i], std::uint64_t(i * i), kAutoSite);
+      g_table.set(tx, i, std::uint64_t(i * i));
     }
   });
   const TxStats after_init = stats_snapshot();
@@ -36,19 +39,19 @@ int main() {
   // Phase 2: the table is now read-only. Each thread annotates it and reads
   // it barrier-free inside transactions.
   std::vector<std::thread> readers;
-  alignas(64) std::uint64_t checksum = 0;
+  alignas(64) tvar<std::uint64_t> checksum{0};
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&] {
-      add_private_memory_block(g_table, sizeof(g_table));  // read-only claim
+      add_private_memory_block(g_table.data(), g_table.size_bytes());
       std::uint64_t local = 0;
       atomic([&](Tx& tx) {
         local = 0;  // retry-safe
         for (std::size_t i = 0; i < kTableSize; ++i) {
-          local += tm_read(tx, &g_table[i], kAutoSite);
+          local += g_table.get(tx, i);
         }
       });
-      atomic([&](Tx& tx) { tm_add(tx, &checksum, local); });
-      remove_private_memory_block(g_table, sizeof(g_table));
+      atomic([&](Tx& tx) { checksum.add(tx, local); });
+      remove_private_memory_block(g_table.data(), g_table.size_bytes());
     });
   }
   for (auto& th : readers) th.join();
@@ -61,14 +64,14 @@ int main() {
     writers.emplace_back([t] {
       const std::size_t begin = static_cast<std::size_t>(t) * (kTableSize / 4);
       const std::size_t len = kTableSize / 4;
-      add_private_memory_block(&g_table[begin], len * sizeof(std::uint64_t));
+      add_private_memory_block(g_table.data() + begin,
+                               len * sizeof(std::uint64_t));
       atomic([&](Tx& tx) {
         for (std::size_t i = begin; i < begin + len; ++i) {
-          tm_write(tx, &g_table[i], tm_read(tx, &g_table[i], kAutoSite) + 1,
-                   kAutoSite);
+          g_table.add(tx, i, 1);
         }
       });
-      remove_private_memory_block(&g_table[begin],
+      remove_private_memory_block(g_table.data() + begin,
                                   len * sizeof(std::uint64_t));
     });
   }
@@ -83,7 +86,8 @@ int main() {
   std::printf("phase 3 (thread-local):  %llu writes elided via annotations\n",
               static_cast<unsigned long long>(
                   final_stats.write_elided_private));
-  std::printf("checksum: %llu\n", static_cast<unsigned long long>(checksum));
+  std::printf("checksum: %llu\n",
+              static_cast<unsigned long long>(checksum.peek()));
 
   // Sanity: phases 2 and 3 elided a meaningful share.
   return final_stats.read_elided_private > 0 &&

@@ -1,9 +1,10 @@
 // Quickstart: the capstm API in one file.
 //
-//   cmake --build build --target quickstart && ./build/examples/quickstart
+//   cmake --build build --target example_quickstart && ./build/example_quickstart
 //
-// Demonstrates: transactions, barriers, transactional allocation, the
-// optimization presets, and reading the elision statistics.
+// Demonstrates: transactions, the typed transactional-object API
+// (tvar/tfield, tx_new), transactional allocation, the optimization
+// presets, and reading the elision statistics.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -18,13 +19,15 @@ int main() {
   set_global_config(TxConfig::runtime_w());
   stats_reset();
 
-  // A shared counter and a shared linked structure head.
+  // A shared counter and a shared linked structure head. tvar<T> binds the
+  // barrier + Site decision to the field type; the default Site is the
+  // hand-instrumented "shared" classification.
   struct Node {
-    std::uint64_t value;
-    Node* next;
+    tfield<std::uint64_t> value;
+    tfield<Node*> next;
   };
-  alignas(64) std::uint64_t total = 0;
-  Node* head = nullptr;
+  alignas(64) tvar<std::uint64_t> total{0};
+  tvar<Node*> head{nullptr};
 
   // Four threads transactionally push nodes and add to the counter.
   std::vector<std::thread> threads;
@@ -32,14 +35,14 @@ int main() {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 1000; ++i) {
         atomic([&](Tx& tx) {
-          // Memory allocated inside the transaction is *captured*: these
-          // initializing writes skip the STM barrier machinery entirely.
-          auto* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
-          tm_write(tx, &node->value, std::uint64_t(t * 1000 + i), kAutoSite);
+          // Memory allocated inside the transaction is *captured*: the
+          // initializing stores skip the STM barrier machinery entirely.
+          auto* node = tx_new<Node>(tx);
+          node->value.init(tx, std::uint64_t(t * 1000 + i));
           // Publishing the node touches shared memory: full barrier.
-          tm_write(tx, &node->next, tm_read(tx, &head));
-          tm_write(tx, &head, node);
-          tm_add(tx, &total, std::uint64_t{1});
+          node->next.set(tx, head.get(tx));
+          head.set(tx, node);
+          total.add(tx, 1);  // or: total(tx) += 1
         });
       }
     });
@@ -47,15 +50,16 @@ int main() {
   for (auto& th : threads) th.join();
 
   std::size_t count = 0;
-  for (Node* n = head; n != nullptr; n = n->next) ++count;
+  for (Node* n = head.peek(); n != nullptr; n = n->next.peek()) ++count;
 
   const TxStats s = stats_snapshot();
   std::printf("nodes linked:       %zu (expected 4000)\n", count);
-  std::printf("counter:            %llu\n", static_cast<unsigned long long>(total));
+  std::printf("counter:            %llu\n",
+              static_cast<unsigned long long>(total.peek()));
   std::printf("commits:            %llu\n", static_cast<unsigned long long>(s.commits));
   std::printf("aborts:             %llu\n", static_cast<unsigned long long>(s.aborts));
   std::printf("write barriers:     %llu\n", static_cast<unsigned long long>(s.writes));
   std::printf("  elided (heap):    %llu  <- captured allocations\n",
               static_cast<unsigned long long>(s.write_elided_heap));
-  return total == 4000 && count == 4000 ? 0 : 1;
+  return total.peek() == 4000 && count == 4000 ? 0 : 1;
 }

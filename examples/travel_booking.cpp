@@ -17,8 +17,8 @@ namespace {
 using namespace cstm;
 
 struct Room {
-  std::uint64_t free;
-  std::uint64_t price;
+  tfield<std::uint64_t> free;
+  tfield<std::uint64_t> price;
 };
 
 struct Hotel {
@@ -34,8 +34,8 @@ double run_scenario(const char* label, const TxConfig& cfg) {
   Tx& setup_tx = current_tx();
   for (std::uint64_t id = 0; id < 512; ++id) {
     auto* room = static_cast<Room*>(Pool::local().allocate(sizeof(Room)));
-    room->free = 4;
-    room->price = 80 + id % 120;
+    room->free.poke(4);
+    room->price.poke(80 + id % 120);
     hotel.rooms.insert(setup_tx, id, room);
   }
 
@@ -54,8 +54,8 @@ double run_scenario(const char* label, const TxConfig& cfg) {
             const std::uint64_t id = rng.below(512);
             Room* room = nullptr;
             if (!hotel.rooms.find(tx, id, &room)) continue;
-            const std::uint64_t free = tm_read(tx, &room->free);
-            const std::uint64_t price = tm_read(tx, &room->price);
+            const std::uint64_t free = room->free.get(tx);
+            const std::uint64_t price = room->price.get(tx);
             if (free > 0 && price < best_price) {
               best = room;
               best_id = id;
@@ -63,7 +63,7 @@ double run_scenario(const char* label, const TxConfig& cfg) {
             }
           }
           if (best != nullptr) {
-            tm_write(tx, &best->free, tm_read(tx, &best->free) - 1);
+            best->free.add(tx, std::uint64_t{0} - 1);
             hotel.bookings.insert(tx, (best_id << 16) | best_price);
           }
         });
@@ -76,7 +76,7 @@ double run_scenario(const char* label, const TxConfig& cfg) {
               const std::uint64_t b = hotel.bookings.iter_next(tx, &it);
               Room* room = nullptr;
               if (hotel.rooms.find(tx, b >> 16, &room)) {
-                tm_add(tx, &room->free, std::uint64_t{1});
+                room->free.add(tx, 1);
               }
               hotel.bookings.remove(tx, b);
             }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Perf-trajectory record: runs the Figure 10 bench (single-thread speedup of
+# every optimization config over baseline, all 10 STAMP workloads) at a
+# fixed scale and emits machine-readable BENCH_fig10.json in the repo root.
+# Compare the JSON across commits to track the perf trajectory.
+#
+# Usage: scripts/bench_json.sh [scale] [reps]
+#   scale  defaults to 1.0 (approaches paper-size inputs; still seconds-fast)
+#   reps   defaults to 5 (median-of-N per cell)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-1.0}"
+reps="${2:-5}"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs" --target bench_fig10_single_thread
+
+./build/bench_fig10_single_thread \
+  --scale "$scale" --reps "$reps" --json BENCH_fig10.json
+echo "wrote $(pwd)/BENCH_fig10.json"

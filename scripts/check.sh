@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 verify (release build + full ctest) followed by the
-# same test suite under AddressSanitizer. Also reachable as the `check`
-# CMake target (ctest only) once a build tree is configured.
+# CI gate: the tier-1 verify (release build + full ctest), the same test
+# suite under AddressSanitizer, the gtest suites under ThreadSanitizer, the
+# typed-API boundary grep, and (when clang-format is installed) the format
+# check. Also reachable as the `check` CMake target once a build tree is
+# configured.
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -15,14 +17,29 @@ while getopts "j:" opt; do
   esac
 done
 
+echo "== typed-API boundary =="
+scripts/check_typed_api.sh
+
 echo "== tier-1: release build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "== format check =="
+if command -v clang-format > /dev/null 2>&1; then
+  cmake --build build --target check-format
+else
+  echo "skipped: clang-format not installed"
+fi
+
 echo "== ASan build + ctest =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan -j "$jobs"
+
+echo "== TSan build + ctest (gtest suites) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs"
+ctest --preset tsan -j "$jobs"
 
 echo "== check.sh: all green =="

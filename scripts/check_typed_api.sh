@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Enforces the typed transactional-object API boundary: application-level
+# code (containers, STAMP apps, examples) must use tvar/tfield/tvar_array/
+# tspan accessors, never the raw tm_read/tm_write/tm_add barrier functions.
+# The raw functions remain the documented low-level backend and are only
+# allowed in src/stm/ (the implementation), tests, and benches.
+#
+# Registered as the ctest case `typed_api_boundary` and run by check.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+paths=(
+  src/containers
+  src/stamp
+  examples/quickstart.cpp
+  examples/annotations.cpp
+  examples/travel_booking.cpp
+)
+
+if matches=$(grep -rn 'tm_read(\|tm_write(\|tm_add(' "${paths[@]}"); then
+  echo "error: raw barrier calls found above the typed API boundary:" >&2
+  echo "$matches" >&2
+  echo "use tvar/tfield/tvar_array/tspan accessors instead (src/stm/tvar.hpp)" >&2
+  exit 1
+fi
+
+echo "typed API boundary clean: no raw tm_read/tm_write/tm_add call sites"

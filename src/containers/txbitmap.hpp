@@ -1,5 +1,6 @@
 // Transactional bitmap (STAMP lib/bitmap equivalent; ssca2 and intruder use
-// it to claim work items exactly once).
+// it to claim work items exactly once). Word accesses go through a tspan
+// view with the Site bound at the type.
 #pragma once
 
 #include <cstddef>
@@ -24,24 +25,22 @@ class TxBitmap {
 
   /// Sets bit @p i; returns false if it was already set (claim semantics).
   bool set(Tx& tx, std::size_t i) {
-    std::uint64_t* w = &words_[i / 64];
+    Words words = word_view();
     const std::uint64_t mask = 1ull << (i % 64);
-    const std::uint64_t old = tm_read(tx, w, bitmap_sites::kWord);
+    const std::uint64_t old = words.get(tx, i / 64);
     if ((old & mask) != 0) return false;
-    tm_write(tx, w, old | mask, bitmap_sites::kWord);
+    words.set(tx, i / 64, old | mask);
     return true;
   }
 
   bool test(Tx& tx, std::size_t i) {
-    return (tm_read(tx, &words_[i / 64], bitmap_sites::kWord) &
-            (1ull << (i % 64))) != 0;
+    return (word_view().get(tx, i / 64) & (1ull << (i % 64))) != 0;
   }
 
   void clear(Tx& tx, std::size_t i) {
-    std::uint64_t* w = &words_[i / 64];
-    const std::uint64_t old = tm_read(tx, w, bitmap_sites::kWord);
-    tm_write(tx, w, std::uint64_t{old & ~(1ull << (i % 64))},
-             bitmap_sites::kWord);
+    Words words = word_view();
+    const std::uint64_t old = words.get(tx, i / 64);
+    words.set(tx, i / 64, old & ~(1ull << (i % 64)));
   }
 
   std::size_t size() const { return bits_; }
@@ -56,6 +55,10 @@ class TxBitmap {
   }
 
  private:
+  using Words = tspan<std::uint64_t, bitmap_sites::kWord>;
+
+  Words word_view() { return Words(words_.get(), (bits_ + 63) / 64); }
+
   std::size_t bits_;
   std::unique_ptr<std::uint64_t[]> words_;
 };

@@ -1,6 +1,7 @@
 // Transactional chained hash table (STAMP lib/hashtable equivalent): a
 // fixed bucket array of singly-linked chains. Used by genome (segment
-// dedup) and intruder (per-flow reassembly maps).
+// dedup) and intruder (per-flow reassembly maps). Bucket slots are reached
+// through a tspan view; node fields are tfields initialized after tx_new.
 #pragma once
 
 #include <cstddef>
@@ -12,9 +13,10 @@
 namespace cstm {
 
 namespace hash_sites {
-inline constexpr Site kNodeInit{"hashtable.node.init", false, true};
-inline constexpr Site kLink{"hashtable.link", true, false};
-inline constexpr Site kTraverse{"hashtable.traverse", true, false};
+inline constexpr Site kKey{"hashtable.key", true, false};
+inline constexpr Site kValue{"hashtable.value", true, false};
+inline constexpr Site kNext{"hashtable.next", true, false};
+inline constexpr Site kBucket{"hashtable.bucket", true, false};
 inline constexpr Site kSize{"hashtable.size", true, false};
 }  // namespace hash_sites
 
@@ -30,7 +32,7 @@ class TxHashtable {
     for (std::size_t b = 0; b <= mask_; ++b) {
       Node* n = buckets_[b];
       while (n != nullptr) {
-        Node* next = n->next;
+        Node* next = n->next.peek();
         Pool::deallocate(n);
         n = next;
       }
@@ -41,31 +43,31 @@ class TxHashtable {
 
   /// Inserts (k, v); returns false if the key already exists.
   bool insert(Tx& tx, const K& k, const V& v) {
-    Node** bucket = &buckets_[slot(k)];
-    Node* cur = tm_read(tx, bucket, hash_sites::kTraverse);
-    Node* head = cur;
+    const std::size_t b = slot(k);
+    Node* head = bucket_view().get(tx, b);
+    Node* cur = head;
     while (cur != nullptr) {
-      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) return false;
-      cur = tm_read(tx, &cur->next, hash_sites::kTraverse);
+      if (cur->key.get(tx) == k) return false;
+      cur = cur->next.get(tx);
     }
-    Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
-    tm_write(tx, &node->key, k, hash_sites::kNodeInit);
-    tm_write(tx, &node->value, v, hash_sites::kNodeInit);
-    tm_write(tx, &node->next, head, hash_sites::kNodeInit);
-    tm_write(tx, bucket, node, hash_sites::kLink);
-    tm_add(tx, &size_, std::size_t{1}, hash_sites::kSize);
+    Node* node = tx_new<Node>(tx);
+    node->key.init(tx, k);
+    node->value.init(tx, v);
+    node->next.init(tx, head);
+    bucket_view().set(tx, b, node);
+    size_.add(tx, 1);
     return true;
   }
 
   /// Looks up @p k; stores the value into *out when found.
   bool find(Tx& tx, const K& k, V* out = nullptr) {
-    Node* cur = tm_read(tx, &buckets_[slot(k)], hash_sites::kTraverse);
+    Node* cur = bucket_view().get(tx, slot(k));
     while (cur != nullptr) {
-      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) {
-        if (out != nullptr) *out = tm_read(tx, &cur->value, hash_sites::kTraverse);
+      if (cur->key.get(tx) == k) {
+        if (out != nullptr) *out = cur->value.get(tx);
         return true;
       }
-      cur = tm_read(tx, &cur->next, hash_sites::kTraverse);
+      cur = cur->next.get(tx);
     }
     return false;
   }
@@ -74,31 +76,31 @@ class TxHashtable {
 
   /// Updates the value of an existing key; inserts when absent.
   void put(Tx& tx, const K& k, const V& v) {
-    Node* cur = tm_read(tx, &buckets_[slot(k)], hash_sites::kTraverse);
+    Node* cur = bucket_view().get(tx, slot(k));
     while (cur != nullptr) {
-      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) {
-        tm_write(tx, &cur->value, v, hash_sites::kLink);
+      if (cur->key.get(tx) == k) {
+        cur->value.set(tx, v);
         return;
       }
-      cur = tm_read(tx, &cur->next, hash_sites::kTraverse);
+      cur = cur->next.get(tx);
     }
     insert(tx, k, v);
   }
 
   bool erase(Tx& tx, const K& k) {
-    Node** bucket = &buckets_[slot(k)];
+    const std::size_t b = slot(k);
     Node* prev = nullptr;
-    Node* cur = tm_read(tx, bucket, hash_sites::kTraverse);
+    Node* cur = bucket_view().get(tx, b);
     while (cur != nullptr) {
-      Node* next = tm_read(tx, &cur->next, hash_sites::kTraverse);
-      if (tm_read(tx, &cur->key, hash_sites::kTraverse) == k) {
+      Node* next = cur->next.get(tx);
+      if (cur->key.get(tx) == k) {
         if (prev == nullptr) {
-          tm_write(tx, bucket, next, hash_sites::kLink);
+          bucket_view().set(tx, b, next);
         } else {
-          tm_write(tx, &prev->next, next, hash_sites::kLink);
+          prev->next.set(tx, next);
         }
-        tm_add(tx, &size_, static_cast<std::size_t>(-1), hash_sites::kSize);
-        tx_free(tx, cur);
+        size_.add(tx, static_cast<std::size_t>(-1));
+        tx_delete(tx, cur);
         return true;
       }
       prev = cur;
@@ -107,15 +109,19 @@ class TxHashtable {
     return false;
   }
 
-  std::size_t size(Tx& tx) { return tm_read(tx, &size_, hash_sites::kSize); }
+  std::size_t size(Tx& tx) { return size_.get(tx); }
   std::size_t bucket_count() const { return mask_ + 1; }
 
  private:
   struct Node {
-    K key;
-    V value;
-    Node* next;
+    tfield<K, hash_sites::kKey> key;
+    tfield<V, hash_sites::kValue> value;
+    tfield<Node*, hash_sites::kNext> next;
   };
+
+  tspan<Node*, hash_sites::kBucket> bucket_view() {
+    return tspan<Node*, hash_sites::kBucket>(buckets_.get(), mask_ + 1);
+  }
 
   static std::size_t round_up_pow2(std::size_t n) {
     std::size_t p = 1;
@@ -131,7 +137,7 @@ class TxHashtable {
 
   std::size_t mask_;
   std::unique_ptr<Node*[]> buckets_;
-  std::size_t size_ = 0;
+  tvar<std::size_t, hash_sites::kSize> size_{0};
 };
 
 }  // namespace cstm

@@ -1,6 +1,6 @@
 // Transactional binary max-heap (STAMP lib/heap equivalent; yada's work
 // queue of bad elements). Array-backed; growth allocates the new backing
-// store inside the transaction (captured copy).
+// store inside the transaction (captured copy via tspan::init).
 #pragma once
 
 #include <cstddef>
@@ -11,7 +11,6 @@
 namespace cstm {
 
 namespace heap_sites {
-inline constexpr Site kGrowCopy{"heap.grow.copy", false, true};
 inline constexpr Site kData{"heap.data", true, false};
 inline constexpr Site kMeta{"heap.meta", true, false};
 }  // namespace heap_sites
@@ -21,92 +20,95 @@ template <typename T, typename Less = std::less<T>>
 class TxHeap {
  public:
   explicit TxHeap(std::size_t initial_capacity = 16) {
-    capacity_ = initial_capacity < 2 ? 2 : initial_capacity;
-    data_ = static_cast<T*>(Pool::local().allocate(capacity_ * sizeof(T)));
+    const std::size_t cap = initial_capacity < 2 ? 2 : initial_capacity;
+    capacity_.poke(cap);
+    data_.poke(static_cast<T*>(Pool::local().allocate(cap * sizeof(T))));
   }
-  ~TxHeap() { Pool::deallocate(data_); }
+  ~TxHeap() { Pool::deallocate(data_.peek()); }
   TxHeap(const TxHeap&) = delete;
   TxHeap& operator=(const TxHeap&) = delete;
 
   void push(Tx& tx, const T& v) {
-    std::size_t n = tm_read(tx, &size_, heap_sites::kMeta);
-    std::size_t cap = tm_read(tx, &capacity_, heap_sites::kMeta);
-    T* data = tm_read(tx, &data_, heap_sites::kMeta);
+    std::size_t n = size_.get(tx);
+    std::size_t cap = capacity_.get(tx);
+    Elements data(data_.get(tx), cap);
     if (n == cap) {
       cap *= 2;
       T* bigger = static_cast<T*>(tx_malloc(tx, cap * sizeof(T)));
+      Elements grown(bigger, cap);
       for (std::size_t i = 0; i < n; ++i) {
-        tm_write(tx, &bigger[i], tm_read(tx, &data[i], heap_sites::kData),
-                 heap_sites::kGrowCopy);
+        grown.init(tx, i, data.get(tx, i));
       }
-      tx_free(tx, data);
-      tm_write(tx, &data_, bigger, heap_sites::kMeta);
-      tm_write(tx, &capacity_, cap, heap_sites::kMeta);
-      data = bigger;
+      tx_free(tx, data.data());
+      data_.set(tx, bigger);
+      capacity_.set(tx, cap);
+      data = grown;
     }
     // Sift up.
     std::size_t i = n;
-    tm_write(tx, &data[i], v, heap_sites::kData);
+    data.set(tx, i, v);
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      const T pv = tm_read(tx, &data[parent], heap_sites::kData);
-      const T cv = tm_read(tx, &data[i], heap_sites::kData);
+      const T pv = data.get(tx, parent);
+      const T cv = data.get(tx, i);
       if (!less_(pv, cv)) break;
-      tm_write(tx, &data[parent], cv, heap_sites::kData);
-      tm_write(tx, &data[i], pv, heap_sites::kData);
+      data.set(tx, parent, cv);
+      data.set(tx, i, pv);
       i = parent;
     }
-    tm_write(tx, &size_, n + 1, heap_sites::kMeta);
+    size_.set(tx, n + 1);
   }
 
   /// Pops the maximum into *out; false when empty.
   bool pop(Tx& tx, T* out) {
-    const std::size_t n = tm_read(tx, &size_, heap_sites::kMeta);
+    const std::size_t n = size_.get(tx);
     if (n == 0) return false;
-    T* data = tm_read(tx, &data_, heap_sites::kMeta);
-    *out = tm_read(tx, &data[0], heap_sites::kData);
-    const T last = tm_read(tx, &data[n - 1], heap_sites::kData);
-    tm_write(tx, &size_, n - 1, heap_sites::kMeta);
+    Elements data(data_.get(tx), n);
+    *out = data.get(tx, 0);
+    const T last = data.get(tx, n - 1);
+    size_.set(tx, n - 1);
     const std::size_t m = n - 1;
     if (m == 0) return true;
-    tm_write(tx, &data[0], last, heap_sites::kData);
+    data.set(tx, 0, last);
     // Sift down.
     std::size_t i = 0;
     for (;;) {
       const std::size_t l = 2 * i + 1;
       const std::size_t r = l + 1;
       std::size_t largest = i;
-      T lv = tm_read(tx, &data[i], heap_sites::kData);
+      T lv = data.get(tx, i);
       T best = lv;
       if (l < m) {
-        const T v = tm_read(tx, &data[l], heap_sites::kData);
+        const T v = data.get(tx, l);
         if (less_(best, v)) {
           largest = l;
           best = v;
         }
       }
       if (r < m) {
-        const T v = tm_read(tx, &data[r], heap_sites::kData);
+        const T v = data.get(tx, r);
         if (less_(best, v)) {
           largest = r;
           best = v;
         }
       }
       if (largest == i) break;
-      tm_write(tx, &data[i], best, heap_sites::kData);
-      tm_write(tx, &data[largest], lv, heap_sites::kData);
+      data.set(tx, i, best);
+      data.set(tx, largest, lv);
       i = largest;
     }
     return true;
   }
 
-  std::size_t size(Tx& tx) { return tm_read(tx, &size_, heap_sites::kMeta); }
+  std::size_t size(Tx& tx) { return size_.get(tx); }
   bool empty(Tx& tx) { return size(tx) == 0; }
 
  private:
-  T* data_ = nullptr;
-  std::size_t size_ = 0;
-  std::size_t capacity_ = 0;
+  using Elements = tspan<T, heap_sites::kData>;
+
+  tvar<T*, heap_sites::kMeta> data_{nullptr};
+  tvar<std::size_t, heap_sites::kMeta> size_{0};
+  tvar<std::size_t, heap_sites::kMeta> capacity_{0};
   [[no_unique_address]] Less less_{};
 };
 

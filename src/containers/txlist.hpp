@@ -1,15 +1,16 @@
 // Transactional sorted singly-linked list (STAMP lib/list equivalent).
 //
-// Every memory access inside a transactional method goes through an STM
-// barrier, emulating naive compiler instrumentation. Site flags encode the
-// paper's measurement methodology:
-//  * node-initialization stores after tx_new are `manual=false,
-//    static_captured=true` — original STAMP used plain stores there (the
-//    compiler over-instruments them; capture analysis elides them);
-//  * link/traversal accesses are `manual=true` — STAMP's TM_SHARED_*.
-//  * iterator-state accesses are `manual=false, static_captured=true`;
-//    iterators MUST be declared inside the atomic block (as in STAMP's
-//    Figure 1(a) usage) for that flag to be sound.
+// Every transactional access goes through a typed tfield/tvar accessor
+// whose Site is bound at the field type, emulating naive compiler
+// instrumentation with the capture metadata centralized per field:
+//  * node fields are initialized with tfield::init after tx_new — original
+//    STAMP used plain stores there (the compiler over-instruments them;
+//    capture analysis elides them);
+//  * link/traversal/size accessors carry manual=true Sites — STAMP's
+//    TM_SHARED_*.
+//  * iterator state is `manual=false, static_captured=true`; iterators
+//    MUST be declared inside the atomic block (as in STAMP's Figure 1(a)
+//    usage) for that flag to be sound.
 #pragma once
 
 #include <cstddef>
@@ -20,9 +21,8 @@
 namespace cstm {
 
 namespace list_sites {
-inline constexpr Site kNodeInit{"list.node.init", false, true};
-inline constexpr Site kLink{"list.link", true, false};
-inline constexpr Site kTraverse{"list.traverse", true, false};
+inline constexpr Site kValue{"list.value", true, false};
+inline constexpr Site kNext{"list.next", true, false};
 inline constexpr Site kSize{"list.size", true, false};
 inline constexpr Site kIter{"list.iter", false, true};
 }  // namespace list_sites
@@ -32,21 +32,21 @@ template <typename T, typename Compare = std::less<T>>
 class TxList {
  public:
   struct Node {
-    T value;
-    Node* next;
+    tfield<T, list_sites::kValue> value;
+    tfield<Node*, list_sites::kNext> next;
   };
 
   struct Iterator {
-    Node* cur = nullptr;
+    tfield<Node*, list_sites::kIter> cur{nullptr};
   };
 
   explicit TxList(bool allow_duplicates = false)
       : allow_duplicates_(allow_duplicates) {}
 
   ~TxList() {
-    Node* n = head_.next;
+    Node* n = head_.next.peek();
     while (n != nullptr) {
-      Node* next = n->next;
+      Node* next = n->next.peek();
       Pool::deallocate(n);
       n = next;
     }
@@ -59,93 +59,88 @@ class TxList {
   /// when duplicates are disallowed.
   bool insert(Tx& tx, const T& v) {
     Node* prev = &head_;
-    Node* cur = tm_read(tx, &prev->next, list_sites::kTraverse);
+    Node* cur = prev->next.get(tx);
     while (cur != nullptr) {
-      const T cv = tm_read(tx, &cur->value, list_sites::kTraverse);
+      const T cv = cur->value.get(tx);
       if (!cmp_(cv, v)) {
         if (!cmp_(v, cv) && !allow_duplicates_) return false;  // equal
         break;
       }
       prev = cur;
-      cur = tm_read(tx, &cur->next, list_sites::kTraverse);
+      cur = cur->next.get(tx);
     }
-    Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
+    Node* node = tx_new<Node>(tx);
     // Initialization of freshly captured memory: over-instrumented by a
     // naive compiler, elidable by capture analysis.
-    tm_write(tx, &node->value, v, list_sites::kNodeInit);
-    tm_write(tx, &node->next, cur, list_sites::kNodeInit);
-    tm_write(tx, &prev->next, node, list_sites::kLink);
-    tm_add(tx, &size_, std::size_t{1}, list_sites::kSize);
+    node->value.init(tx, v);
+    node->next.init(tx, cur);
+    prev->next.set(tx, node);
+    size_.add(tx, 1);
     return true;
   }
 
   /// Removes one occurrence of @p v. Returns false if absent.
   bool remove(Tx& tx, const T& v) {
     Node* prev = &head_;
-    Node* cur = tm_read(tx, &prev->next, list_sites::kTraverse);
+    Node* cur = prev->next.get(tx);
     while (cur != nullptr) {
-      const T cv = tm_read(tx, &cur->value, list_sites::kTraverse);
+      const T cv = cur->value.get(tx);
       if (!cmp_(cv, v)) {
         if (cmp_(v, cv)) return false;  // passed the slot: absent
-        Node* next = tm_read(tx, &cur->next, list_sites::kTraverse);
-        tm_write(tx, &prev->next, next, list_sites::kLink);
-        tm_add(tx, &size_, static_cast<std::size_t>(-1), list_sites::kSize);
-        tx_free(tx, cur);
+        prev->next.set(tx, cur->next.get(tx));
+        size_.add(tx, static_cast<std::size_t>(-1));
+        tx_delete(tx, cur);
         return true;
       }
       prev = cur;
-      cur = tm_read(tx, &cur->next, list_sites::kTraverse);
+      cur = cur->next.get(tx);
     }
     return false;
   }
 
   bool contains(Tx& tx, const T& v) {
-    Node* cur = tm_read(tx, &head_.next, list_sites::kTraverse);
+    Node* cur = head_.next.get(tx);
     while (cur != nullptr) {
-      const T cv = tm_read(tx, &cur->value, list_sites::kTraverse);
+      const T cv = cur->value.get(tx);
       if (!cmp_(cv, v)) return !cmp_(v, cv);
-      cur = tm_read(tx, &cur->next, list_sites::kTraverse);
+      cur = cur->next.get(tx);
     }
     return false;
   }
 
-  std::size_t size(Tx& tx) { return tm_read(tx, &size_, list_sites::kSize); }
+  std::size_t size(Tx& tx) { return size_.get(tx); }
   bool empty(Tx& tx) { return size(tx) == 0; }
 
   /// Removes every element (transactionally).
   void clear(Tx& tx) {
-    Node* cur = tm_read(tx, &head_.next, list_sites::kTraverse);
+    Node* cur = head_.next.get(tx);
     while (cur != nullptr) {
-      Node* next = tm_read(tx, &cur->next, list_sites::kTraverse);
-      tx_free(tx, cur);
+      Node* next = cur->next.get(tx);
+      tx_delete(tx, cur);
       cur = next;
     }
-    tm_write(tx, &head_.next, static_cast<Node*>(nullptr), list_sites::kLink);
-    tm_write(tx, &size_, std::size_t{0}, list_sites::kSize);
+    head_.next.set(tx, nullptr);
+    size_.set(tx, 0);
   }
 
   // -- STAMP-style iteration (Figure 1(a)). The Iterator object must live
   //    inside the atomic block; its fields are then transaction-local.
-  void iter_reset(Tx& tx, Iterator* it) {
-    tm_write(tx, &it->cur, tm_read(tx, &head_.next, list_sites::kTraverse),
-             list_sites::kIter);
-  }
+  void iter_reset(Tx& tx, Iterator* it) { it->cur.set(tx, head_.next.get(tx)); }
 
   bool iter_has_next(Tx& tx, Iterator* it) {
-    return tm_read(tx, &it->cur, list_sites::kIter) != nullptr;
+    return it->cur.get(tx) != nullptr;
   }
 
   T iter_next(Tx& tx, Iterator* it) {
-    Node* cur = tm_read(tx, &it->cur, list_sites::kIter);
-    const T v = tm_read(tx, &cur->value, list_sites::kTraverse);
-    tm_write(tx, &it->cur, tm_read(tx, &cur->next, list_sites::kTraverse),
-             list_sites::kIter);
+    Node* cur = it->cur.get(tx);
+    const T v = cur->value.get(tx);
+    it->cur.set(tx, cur->next.get(tx));
     return v;
   }
 
  private:
   Node head_{T{}, nullptr};
-  std::size_t size_ = 0;
+  tvar<std::size_t, list_sites::kSize> size_{0};
   bool allow_duplicates_;
   [[no_unique_address]] Compare cmp_{};
 };

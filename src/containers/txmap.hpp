@@ -3,10 +3,11 @@
 // Implemented as a treap: rotations are local and parent-pointer-free,
 // which keeps the transactional implementation auditable while preserving
 // the balanced-BST access profile the paper's benchmarks exercise
-// (traversal reads are shared/manual; node initialization after tx_malloc
-// is captured; structural link writes are shared/manual). Priorities come
+// (traversal reads are shared/manual; node initialization after tx_new is
+// captured; structural link writes are shared/manual). Priorities come
 // from a thread-local PRNG, making balance independent of insertion order
-// (vacation inserts sequential ids at setup).
+// (vacation inserts sequential ids at setup). All barrier + Site decisions
+// live in the tfield/tvar types of Node and the map header.
 #pragma once
 
 #include <cstddef>
@@ -19,9 +20,11 @@
 namespace cstm {
 
 namespace map_sites {
-inline constexpr Site kNodeInit{"map.node.init", false, true};
-inline constexpr Site kLink{"map.link", true, false};
-inline constexpr Site kTraverse{"map.traverse", true, false};
+inline constexpr Site kKey{"map.key", true, false};
+inline constexpr Site kValue{"map.value", true, false};
+inline constexpr Site kPrio{"map.prio", true, false};
+inline constexpr Site kChild{"map.child", true, false};
+inline constexpr Site kRoot{"map.root", true, false};
 inline constexpr Site kSize{"map.size", true, false};
 }  // namespace map_sites
 
@@ -30,24 +33,24 @@ template <typename K, typename V, typename Compare = std::less<K>>
 class TxMap {
  public:
   TxMap() = default;
-  ~TxMap() { destroy(root_); }
+  ~TxMap() { destroy(root_.peek()); }
   TxMap(const TxMap&) = delete;
   TxMap& operator=(const TxMap&) = delete;
 
   /// Inserts (k, v); returns false (no change) if the key exists.
   bool insert(Tx& tx, const K& k, const V& v) {
     bool inserted = false;
-    Node* old_root = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* old_root = root_.get(tx);
     Node* new_root = insert_rec(tx, old_root, k, v, &inserted);
-    if (new_root != old_root) tm_write(tx, &root_, new_root, map_sites::kLink);
-    if (inserted) tm_add(tx, &size_, std::size_t{1}, map_sites::kSize);
+    if (new_root != old_root) root_.set(tx, new_root);
+    if (inserted) size_.add(tx, 1);
     return inserted;
   }
 
   /// Inserts or overwrites.
   void put(Tx& tx, const K& k, const V& v) {
     if (Node* n = find_node(tx, k)) {
-      tm_write(tx, &n->value, v, map_sites::kLink);
+      n->value.set(tx, v);
       return;
     }
     insert(tx, k, v);
@@ -55,16 +58,16 @@ class TxMap {
 
   bool erase(Tx& tx, const K& k) {
     bool erased = false;
-    Node* old_root = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* old_root = root_.get(tx);
     Node* new_root = erase_rec(tx, old_root, k, &erased);
-    if (new_root != old_root) tm_write(tx, &root_, new_root, map_sites::kLink);
-    if (erased) tm_add(tx, &size_, static_cast<std::size_t>(-1), map_sites::kSize);
+    if (new_root != old_root) root_.set(tx, new_root);
+    if (erased) size_.add(tx, static_cast<std::size_t>(-1));
     return erased;
   }
 
   bool find(Tx& tx, const K& k, V* out = nullptr) {
     if (Node* n = find_node(tx, k)) {
-      if (out != nullptr) *out = tm_read(tx, &n->value, map_sites::kTraverse);
+      if (out != nullptr) *out = n->value.get(tx);
       return true;
     }
     return false;
@@ -74,39 +77,39 @@ class TxMap {
 
   /// Greatest key <= k (floor query, used by reservation pricing sweeps).
   bool find_floor(Tx& tx, const K& k, K* key_out, V* val_out = nullptr) {
-    Node* cur = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* cur = root_.get(tx);
     Node* best = nullptr;
     while (cur != nullptr) {
-      const K ck = tm_read(tx, &cur->key, map_sites::kTraverse);
+      const K ck = cur->key.get(tx);
       if (cmp_(k, ck)) {
-        cur = tm_read(tx, &cur->left, map_sites::kTraverse);
+        cur = cur->left.get(tx);
       } else {
         best = cur;
-        cur = tm_read(tx, &cur->right, map_sites::kTraverse);
+        cur = cur->right.get(tx);
       }
     }
     if (best == nullptr) return false;
-    if (key_out != nullptr) *key_out = tm_read(tx, &best->key, map_sites::kTraverse);
-    if (val_out != nullptr) *val_out = tm_read(tx, &best->value, map_sites::kTraverse);
+    if (key_out != nullptr) *key_out = best->key.get(tx);
+    if (val_out != nullptr) *val_out = best->value.get(tx);
     return true;
   }
 
-  std::size_t size(Tx& tx) { return tm_read(tx, &size_, map_sites::kSize); }
+  std::size_t size(Tx& tx) { return size_.get(tx); }
   bool empty(Tx& tx) { return size(tx) == 0; }
 
   /// Sequential (non-transactional) in-order visit for verification code.
   template <typename F>
   void for_each_sequential(F&& f) const {
-    visit(root_, f);
+    visit(root_.peek(), f);
   }
 
  private:
   struct Node {
-    K key;
-    V value;
-    std::uint64_t prio;
-    Node* left;
-    Node* right;
+    tfield<K, map_sites::kKey> key;
+    tfield<V, map_sites::kValue> value;
+    tfield<std::uint64_t, map_sites::kPrio> prio;
+    tfield<Node*, map_sites::kChild> left;
+    tfield<Node*, map_sites::kChild> right;
   };
 
   static std::uint64_t draw_priority() {
@@ -116,13 +119,13 @@ class TxMap {
   }
 
   Node* find_node(Tx& tx, const K& k) {
-    Node* cur = tm_read(tx, &root_, map_sites::kTraverse);
+    Node* cur = root_.get(tx);
     while (cur != nullptr) {
-      const K ck = tm_read(tx, &cur->key, map_sites::kTraverse);
+      const K ck = cur->key.get(tx);
       if (cmp_(k, ck)) {
-        cur = tm_read(tx, &cur->left, map_sites::kTraverse);
+        cur = cur->left.get(tx);
       } else if (cmp_(ck, k)) {
-        cur = tm_read(tx, &cur->right, map_sites::kTraverse);
+        cur = cur->right.get(tx);
       } else {
         return cur;
       }
@@ -132,27 +135,27 @@ class TxMap {
 
   Node* insert_rec(Tx& tx, Node* n, const K& k, const V& v, bool* inserted) {
     if (n == nullptr) {
-      Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
-      tm_write(tx, &node->key, k, map_sites::kNodeInit);
-      tm_write(tx, &node->value, v, map_sites::kNodeInit);
-      tm_write(tx, &node->prio, draw_priority(), map_sites::kNodeInit);
-      tm_write(tx, &node->left, static_cast<Node*>(nullptr), map_sites::kNodeInit);
-      tm_write(tx, &node->right, static_cast<Node*>(nullptr), map_sites::kNodeInit);
+      Node* node = tx_new<Node>(tx);
+      node->key.init(tx, k);
+      node->value.init(tx, v);
+      node->prio.init(tx, draw_priority());
+      node->left.init(tx, nullptr);
+      node->right.init(tx, nullptr);
       *inserted = true;
       return node;
     }
-    const K nk = tm_read(tx, &n->key, map_sites::kTraverse);
+    const K nk = n->key.get(tx);
     if (cmp_(k, nk)) {
-      Node* old = tm_read(tx, &n->left, map_sites::kTraverse);
+      Node* old = n->left.get(tx);
       Node* child = insert_rec(tx, old, k, v, inserted);
-      if (child != old) tm_write(tx, &n->left, child, map_sites::kLink);
+      if (child != old) n->left.set(tx, child);
       if (*inserted && prio_of(tx, child) > prio_of(tx, n)) {
         return rotate_right(tx, n, child);
       }
     } else if (cmp_(nk, k)) {
-      Node* old = tm_read(tx, &n->right, map_sites::kTraverse);
+      Node* old = n->right.get(tx);
       Node* child = insert_rec(tx, old, k, v, inserted);
-      if (child != old) tm_write(tx, &n->right, child, map_sites::kLink);
+      if (child != old) n->right.set(tx, child);
       if (*inserted && prio_of(tx, child) > prio_of(tx, n)) {
         return rotate_left(tx, n, child);
       }
@@ -162,17 +165,17 @@ class TxMap {
 
   Node* erase_rec(Tx& tx, Node* n, const K& k, bool* erased) {
     if (n == nullptr) return nullptr;
-    const K nk = tm_read(tx, &n->key, map_sites::kTraverse);
+    const K nk = n->key.get(tx);
     if (cmp_(k, nk)) {
-      Node* old = tm_read(tx, &n->left, map_sites::kTraverse);
+      Node* old = n->left.get(tx);
       Node* child = erase_rec(tx, old, k, erased);
-      if (child != old) tm_write(tx, &n->left, child, map_sites::kLink);
+      if (child != old) n->left.set(tx, child);
       return n;
     }
     if (cmp_(nk, k)) {
-      Node* old = tm_read(tx, &n->right, map_sites::kTraverse);
+      Node* old = n->right.get(tx);
       Node* child = erase_rec(tx, old, k, erased);
-      if (child != old) tm_write(tx, &n->right, child, map_sites::kLink);
+      if (child != old) n->right.set(tx, child);
       return n;
     }
     *erased = true;
@@ -182,71 +185,65 @@ class TxMap {
   /// Rotates @p n to a leaf by priority, detaches and frees it; returns the
   /// subtree that replaces it.
   Node* unlink(Tx& tx, Node* n) {
-    Node* l = tm_read(tx, &n->left, map_sites::kTraverse);
-    Node* r = tm_read(tx, &n->right, map_sites::kTraverse);
+    Node* l = n->left.get(tx);
+    Node* r = n->right.get(tx);
     if (l == nullptr && r == nullptr) {
-      tx_free(tx, n);
+      tx_delete(tx, n);
       return nullptr;
     }
     if (l == nullptr) {
-      tx_free(tx, n);
+      tx_delete(tx, n);
       return r;
     }
     if (r == nullptr) {
-      tx_free(tx, n);
+      tx_delete(tx, n);
       return l;
     }
     if (prio_of(tx, l) > prio_of(tx, r)) {
       // Rotate right: l up, n descends into l's right subtree.
-      Node* lr = tm_read(tx, &l->right, map_sites::kTraverse);
-      tm_write(tx, &n->left, lr, map_sites::kLink);
+      n->left.set(tx, l->right.get(tx));
       Node* repl = unlink(tx, n);
-      tm_write(tx, &l->right, repl, map_sites::kLink);
+      l->right.set(tx, repl);
       return l;
     }
-    Node* rl = tm_read(tx, &r->left, map_sites::kTraverse);
-    tm_write(tx, &n->right, rl, map_sites::kLink);
+    n->right.set(tx, r->left.get(tx));
     Node* repl = unlink(tx, n);
-    tm_write(tx, &r->left, repl, map_sites::kLink);
+    r->left.set(tx, repl);
     return r;
   }
 
-  std::uint64_t prio_of(Tx& tx, Node* n) {
-    return tm_read(tx, &n->prio, map_sites::kTraverse);
-  }
+  std::uint64_t prio_of(Tx& tx, Node* n) { return n->prio.get(tx); }
 
   /// child == n->left, child's priority beats n's: child becomes the root.
   Node* rotate_right(Tx& tx, Node* n, Node* child) {
-    Node* cr = tm_read(tx, &child->right, map_sites::kTraverse);
-    tm_write(tx, &n->left, cr, map_sites::kLink);
-    tm_write(tx, &child->right, n, map_sites::kLink);
+    n->left.set(tx, child->right.get(tx));
+    child->right.set(tx, n);
     return child;
   }
 
   Node* rotate_left(Tx& tx, Node* n, Node* child) {
-    Node* cl = tm_read(tx, &child->left, map_sites::kTraverse);
-    tm_write(tx, &n->right, cl, map_sites::kLink);
-    tm_write(tx, &child->left, n, map_sites::kLink);
+    n->right.set(tx, child->left.get(tx));
+    child->left.set(tx, n);
     return child;
   }
 
   static void destroy(Node* n) {
     if (n == nullptr) return;
-    destroy(n->left);
-    destroy(n->right);
+    destroy(n->left.peek());
+    destroy(n->right.peek());
     Pool::deallocate(n);
   }
 
   template <typename F>
   static void visit(const Node* n, F&& f) {
     if (n == nullptr) return;
-    visit(n->left, f);
-    f(n->key, n->value);
-    visit(n->right, f);
+    visit(n->left.peek(), f);
+    f(n->key.peek(), n->value.peek());
+    visit(n->right.peek(), f);
   }
 
-  Node* root_ = nullptr;
-  std::size_t size_ = 0;
+  tvar<Node*, map_sites::kRoot> root_{nullptr};
+  tvar<std::size_t, map_sites::kSize> size_{0};
   [[no_unique_address]] Compare cmp_{};
 };
 

@@ -1,7 +1,7 @@
 // Transactional FIFO queue (STAMP lib/queue equivalent), linked
 // implementation: enqueue allocates a node inside the transaction, so node
-// initialization is captured — the same over-instrumentation profile as the
-// list.
+// initialization is captured (tfield::init) — the same over-instrumentation
+// profile as the list.
 #pragma once
 
 #include <cstddef>
@@ -11,7 +11,8 @@
 namespace cstm {
 
 namespace queue_sites {
-inline constexpr Site kNodeInit{"queue.node.init", false, true};
+inline constexpr Site kValue{"queue.value", true, false};
+inline constexpr Site kNext{"queue.next", true, false};
 inline constexpr Site kLink{"queue.link", true, false};
 inline constexpr Site kSize{"queue.size", true, false};
 }  // namespace queue_sites
@@ -22,9 +23,9 @@ class TxQueue {
  public:
   TxQueue() = default;
   ~TxQueue() {
-    Node* n = head_;
+    Node* n = head_.peek();
     while (n != nullptr) {
-      Node* next = n->next;
+      Node* next = n->next.peek();
       Pool::deallocate(n);
       n = next;
     }
@@ -33,48 +34,45 @@ class TxQueue {
   TxQueue& operator=(const TxQueue&) = delete;
 
   void push(Tx& tx, const T& v) {
-    Node* node = static_cast<Node*>(tx_malloc(tx, sizeof(Node)));
-    tm_write(tx, &node->value, v, queue_sites::kNodeInit);
-    tm_write(tx, &node->next, static_cast<Node*>(nullptr),
-             queue_sites::kNodeInit);
-    Node* tail = tm_read(tx, &tail_, queue_sites::kLink);
+    Node* node = tx_new<Node>(tx);
+    node->value.init(tx, v);
+    node->next.init(tx, nullptr);
+    Node* tail = tail_.get(tx);
     if (tail == nullptr) {
-      tm_write(tx, &head_, node, queue_sites::kLink);
+      head_.set(tx, node);
     } else {
-      tm_write(tx, &tail->next, node, queue_sites::kLink);
+      tail->next.set(tx, node);
     }
-    tm_write(tx, &tail_, node, queue_sites::kLink);
-    tm_add(tx, &size_, std::size_t{1}, queue_sites::kSize);
+    tail_.set(tx, node);
+    size_.add(tx, 1);
   }
 
   /// Pops the front element into *out; false when empty.
   bool pop(Tx& tx, T* out) {
-    Node* head = tm_read(tx, &head_, queue_sites::kLink);
+    Node* head = head_.get(tx);
     if (head == nullptr) return false;
-    *out = tm_read(tx, &head->value, queue_sites::kLink);
-    Node* next = tm_read(tx, &head->next, queue_sites::kLink);
-    tm_write(tx, &head_, next, queue_sites::kLink);
+    *out = head->value.get(tx);
+    Node* next = head->next.get(tx);
+    head_.set(tx, next);
     if (next == nullptr) {
-      tm_write(tx, &tail_, static_cast<Node*>(nullptr), queue_sites::kLink);
+      tail_.set(tx, nullptr);
     }
-    tm_add(tx, &size_, static_cast<std::size_t>(-1), queue_sites::kSize);
-    tx_free(tx, head);
+    size_.add(tx, static_cast<std::size_t>(-1));
+    tx_delete(tx, head);
     return true;
   }
 
-  bool empty(Tx& tx) {
-    return tm_read(tx, &head_, queue_sites::kLink) == nullptr;
-  }
-  std::size_t size(Tx& tx) { return tm_read(tx, &size_, queue_sites::kSize); }
+  bool empty(Tx& tx) { return head_.get(tx) == nullptr; }
+  std::size_t size(Tx& tx) { return size_.get(tx); }
 
  private:
   struct Node {
-    T value;
-    Node* next;
+    tfield<T, queue_sites::kValue> value;
+    tfield<Node*, queue_sites::kNext> next;
   };
-  Node* head_ = nullptr;
-  Node* tail_ = nullptr;
-  std::size_t size_ = 0;
+  tvar<Node*, queue_sites::kLink> head_{nullptr};
+  tvar<Node*, queue_sites::kLink> tail_{nullptr};
+  tvar<std::size_t, queue_sites::kSize> size_{0};
 };
 
 }  // namespace cstm

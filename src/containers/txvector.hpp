@@ -2,7 +2,8 @@
 //
 // push_back growth allocates the new backing store inside the transaction
 // and copies into it — the copy targets captured memory, which is exactly
-// the query-vector pattern of the paper's Figure 1(b).
+// the query-vector pattern of the paper's Figure 1(b). Element accesses go
+// through a tspan view; the captured grow-copy uses tspan::init.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +13,6 @@
 namespace cstm {
 
 namespace vector_sites {
-inline constexpr Site kGrowCopy{"vector.grow.copy", false, true};
 inline constexpr Site kData{"vector.data", true, false};
 inline constexpr Site kMeta{"vector.meta", true, false};
 }  // namespace vector_sites
@@ -22,62 +22,61 @@ template <typename T>
 class TxVector {
  public:
   explicit TxVector(std::size_t initial_capacity = 8) {
-    capacity_ = initial_capacity < 2 ? 2 : initial_capacity;
-    data_ = static_cast<T*>(
-        Pool::local().allocate(capacity_ * sizeof(T)));
+    const std::size_t cap = initial_capacity < 2 ? 2 : initial_capacity;
+    capacity_.poke(cap);
+    data_.poke(static_cast<T*>(Pool::local().allocate(cap * sizeof(T))));
   }
-  ~TxVector() { Pool::deallocate(data_); }
+  ~TxVector() { Pool::deallocate(data_.peek()); }
   TxVector(const TxVector&) = delete;
   TxVector& operator=(const TxVector&) = delete;
 
   void push_back(Tx& tx, const T& v) {
-    const std::size_t n = tm_read(tx, &size_, vector_sites::kMeta);
-    std::size_t cap = tm_read(tx, &capacity_, vector_sites::kMeta);
-    T* data = tm_read(tx, &data_, vector_sites::kMeta);
+    const std::size_t n = size_.get(tx);
+    std::size_t cap = capacity_.get(tx);
+    Elements data(data_.get(tx), cap);
     if (n == cap) {
       cap *= 2;
       T* bigger = static_cast<T*>(tx_malloc(tx, cap * sizeof(T)));
+      Elements grown(bigger, cap);
       for (std::size_t i = 0; i < n; ++i) {
         // Copy into freshly captured memory (Figure 1(b) profile).
-        tm_write(tx, &bigger[i], tm_read(tx, &data[i], vector_sites::kData),
-                 vector_sites::kGrowCopy);
+        grown.init(tx, i, data.get(tx, i));
       }
-      tx_free(tx, data);
-      tm_write(tx, &data_, bigger, vector_sites::kMeta);
-      tm_write(tx, &capacity_, cap, vector_sites::kMeta);
-      data = bigger;
+      tx_free(tx, data.data());
+      data_.set(tx, bigger);
+      capacity_.set(tx, cap);
+      data = grown;
     }
-    tm_write(tx, &data[n], v, vector_sites::kData);
-    tm_write(tx, &size_, n + 1, vector_sites::kMeta);
+    data.set(tx, n, v);
+    size_.set(tx, n + 1);
   }
 
   T at(Tx& tx, std::size_t i) {
-    T* data = tm_read(tx, &data_, vector_sites::kMeta);
-    return tm_read(tx, &data[i], vector_sites::kData);
+    return Elements(data_.get(tx), i + 1).get(tx, i);
   }
 
   void set(Tx& tx, std::size_t i, const T& v) {
-    T* data = tm_read(tx, &data_, vector_sites::kMeta);
-    tm_write(tx, &data[i], v, vector_sites::kData);
+    Elements(data_.get(tx), i + 1).set(tx, i, v);
   }
 
-  std::size_t size(Tx& tx) { return tm_read(tx, &size_, vector_sites::kMeta); }
+  std::size_t size(Tx& tx) { return size_.get(tx); }
   bool empty(Tx& tx) { return size(tx) == 0; }
-  void clear(Tx& tx) { tm_write(tx, &size_, std::size_t{0}, vector_sites::kMeta); }
+  void clear(Tx& tx) { size_.set(tx, 0); }
 
   /// Removes and returns the last element (precondition: non-empty).
   T pop_back(Tx& tx) {
-    const std::size_t n = tm_read(tx, &size_, vector_sites::kMeta);
-    T* data = tm_read(tx, &data_, vector_sites::kMeta);
-    const T v = tm_read(tx, &data[n - 1], vector_sites::kData);
-    tm_write(tx, &size_, n - 1, vector_sites::kMeta);
+    const std::size_t n = size_.get(tx);
+    const T v = Elements(data_.get(tx), n).get(tx, n - 1);
+    size_.set(tx, n - 1);
     return v;
   }
 
  private:
-  T* data_ = nullptr;
-  std::size_t size_ = 0;
-  std::size_t capacity_ = 0;
+  using Elements = tspan<T, vector_sites::kData>;
+
+  tvar<T*, vector_sites::kMeta> data_{nullptr};
+  tvar<std::size_t, vector_sites::kMeta> size_{0};
+  tvar<std::size_t, vector_sites::kMeta> capacity_{0};
 };
 
 }  // namespace cstm

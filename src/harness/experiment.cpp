@@ -29,16 +29,18 @@ Options parse_options(int argc, char** argv) {
       opt.threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       opt.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json = need_value("--json");
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       // ctest bit-rot gate: exercise every code path in seconds, not minutes.
       opt.scale = 0.01;
       opt.reps = 1;
       opt.threads = 2;
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--scale S] [--reps N] [--threads T] [--seed X] [--smoke]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--scale S] [--reps N] [--threads T] [--seed X] "
+                   "[--json FILE] [--smoke]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -156,20 +158,58 @@ void fig9_removed(const Options& opt) {
 
 namespace {
 
-void speedup_table(const Options& opt, int threads,
+/// Prints the app x config improvement table and, when opt.json is set,
+/// writes the same data as machine-readable JSON (one object per app with
+/// baseline seconds and per-config improvement percentages). The JSON is
+/// the perf-trajectory record format consumed by scripts/bench_json.sh.
+void speedup_table(const char* experiment, const Options& opt, int threads,
                    const std::vector<std::pair<std::string, TxConfig>>& configs) {
+  std::FILE* json = nullptr;
+  if (!opt.json.empty()) {
+    json = std::fopen(opt.json.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opt.json.c_str());
+      std::exit(1);
+    }
+    std::fprintf(json,
+                 "{\n  \"experiment\": \"%s\",\n  \"scale\": %g,\n"
+                 "  \"threads\": %d,\n  \"reps\": %d,\n  \"seed\": %llu,\n"
+                 "  \"rows\": [",
+                 experiment, opt.scale, threads, opt.reps,
+                 static_cast<unsigned long long>(opt.seed));
+  }
   print_speedup_header();
   for (const auto& [name, cfg] : configs) std::printf(" %14s", name.c_str());
   std::printf("\n");
+  bool first_row = true;
   for (const auto& app : stamp::app_names()) {
     const double base = median_seconds(app, threads, TxConfig::baseline(), opt);
     std::printf("%-15s", app.c_str());
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    {\"app\": \"%s\", \"baseline_seconds\": %.6f, "
+                   "\"improvement_percent\": {",
+                   first_row ? "" : ",", app.c_str(), base);
+      first_row = false;
+    }
+    bool first_cfg = true;
     for (const auto& [name, cfg] : configs) {
       const double t = median_seconds(app, threads, cfg, opt);
       const double improvement = (base / t - 1.0) * 100.0;
       std::printf(" %13.1f%%", improvement);
+      if (json != nullptr) {
+        std::fprintf(json, "%s\"%s\": %.2f", first_cfg ? "" : ", ",
+                     name.c_str(), improvement);
+        first_cfg = false;
+      }
     }
     std::printf("  (baseline %.4fs)\n", base);
+    if (json != nullptr) std::fprintf(json, "}}");
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("# wrote %s\n", opt.json.c_str());
   }
 }
 
@@ -178,7 +218,7 @@ void speedup_table(const Options& opt, int threads,
 void fig10_single_thread(const Options& opt) {
   std::printf("# Figure 10: performance improvement over baseline at 1 thread\n");
   std::printf("# positive = faster than baseline, negative = runtime-check overhead\n");
-  speedup_table(opt, 1,
+  speedup_table("fig10", opt, 1,
                 {{"rt-stack+heap-RW", TxConfig::runtime_rw()},
                  {"rt-stack+heap-W", TxConfig::runtime_w()},
                  {"rt-heap-W", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
@@ -188,7 +228,7 @@ void fig10_single_thread(const Options& opt) {
 void fig11a_configs(const Options& opt) {
   std::printf("# Figure 11(a): improvement over baseline at %d threads (runtime tree configs + compiler)\n",
               opt.threads);
-  speedup_table(opt, opt.threads,
+  speedup_table("fig11a", opt, opt.threads,
                 {{"rt-stack+heap-RW", TxConfig::runtime_rw()},
                  {"rt-stack+heap-W", TxConfig::runtime_w()},
                  {"rt-heap-W", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
@@ -198,7 +238,7 @@ void fig11a_configs(const Options& opt) {
 void fig11b_structures(const Options& opt) {
   std::printf("# Figure 11(b): improvement over baseline at %d threads\n", opt.threads);
   std::printf("# runtime checks: write barriers only, transaction-local heap only\n");
-  speedup_table(opt, opt.threads,
+  speedup_table("fig11b", opt, opt.threads,
                 {{"tree", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
                  {"array", TxConfig::runtime_heap_w(AllocLogKind::kArray)},
                  {"filter", TxConfig::runtime_heap_w(AllocLogKind::kFilter)},

@@ -18,9 +18,11 @@ struct Options {
   int reps = 3;
   int threads = 16;     // the paper's maximum thread count
   std::uint64_t seed = 20090811;
+  std::string json;     // when set: also write machine-readable results here
 };
 
-/// Parses --scale/--reps/--threads/--seed; unknown flags abort with usage.
+/// Parses --scale/--reps/--threads/--seed/--json; unknown flags abort with
+/// usage.
 Options parse_options(int argc, char** argv);
 
 struct RunResult {

@@ -6,12 +6,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-inline constexpr Site kCounter{"bayes.counter", true, false};
-// Thread-local query vector (Figure 1(b)): elidable only via annotations.
-inline constexpr Site kQueryVec{"bayes.query.vec", false, false};
-}  // namespace sites
-
 namespace {
 constexpr std::uint64_t pack_task(std::uint64_t score, std::uint64_t var) {
   return (score << 24) | var;
@@ -39,9 +33,9 @@ void BayesApp::setup(const AppParams& params) {
     task_list_->insert(
         tx, pack_task(rng.below(1u << 20), rng.below(num_vars_)));
   }
-  tasks_created_ = initial_tasks_;
-  tasks_done_ = 0;
-  arcs_added_ = 0;
+  tasks_created_.poke(initial_tasks_);
+  tasks_done_.poke(0);
+  arcs_added_.poke(0);
 }
 
 void BayesApp::worker(int tid) {
@@ -49,8 +43,9 @@ void BayesApp::worker(int tid) {
 
   // Figure 1(b): a per-thread query vector, annotated as private so the
   // annotation-aware runtime elides its barriers.
-  std::uint64_t query_vector[kQueryVectorWords] = {};
-  add_private_memory_block(query_vector, sizeof(query_vector));
+  tvar_array<std::uint64_t, kQueryVectorWords, bayes_sites::kQueryVec>
+      query_vector;
+  add_private_memory_block(query_vector.data(), query_vector.size_bytes());
 
   for (;;) {
     std::uint64_t task = 0;
@@ -63,22 +58,21 @@ void BayesApp::worker(int tid) {
       got = false;
       finished = false;
       typename TxList<std::uint64_t>::Iterator it;
-      std::uint64_t best = 0;
+      // The running best lives on the transaction-local stack too.
+      tvar<std::uint64_t, kAutoCapturedSite> best{0};
       std::uint64_t scanned = 0;
       task_list_->iter_reset(tx, &it);
       while (task_list_->iter_has_next(tx, &it) && scanned < 32) {
         const std::uint64_t cand = task_list_->iter_next(tx, &it);
-        // The running best lives on the transaction-local stack too.
-        if (cand >= tm_read(tx, &best, kAutoCapturedSite)) {
-          tm_write(tx, &best, cand, kAutoCapturedSite);
+        if (cand >= best.get(tx)) {
+          best.set(tx, cand);
         }
         ++scanned;
       }
       if (scanned > 0) {
-        task = tm_read(tx, &best, kAutoCapturedSite);
+        task = best.get(tx);
         got = task_list_->remove(tx, task);
-      } else if (tm_read(tx, &tasks_done_, sites::kCounter) ==
-                 tm_read(tx, &tasks_created_, sites::kCounter)) {
+      } else if (tasks_done_.get(tx) == tasks_created_.get(tx)) {
         finished = true;
       }
     });
@@ -93,13 +87,11 @@ void BayesApp::worker(int tid) {
     std::uint64_t score = 0;
     atomic([&](Tx& tx) {
       for (std::size_t i = 0; i < kQueryVectorWords; ++i) {
-        tm_write(tx, &query_vector[i],
-                 records_[(var * 16 + i) % records_.size()],
-                 sites::kQueryVec);
+        query_vector.set(tx, i, records_[(var * 16 + i) % records_.size()]);
       }
       std::uint64_t acc = 0;
       for (std::size_t i = 0; i < kQueryVectorWords; ++i) {
-        acc ^= tm_read(tx, &query_vector[i], sites::kQueryVec) * (i + 1);
+        acc ^= query_vector.get(tx, i) * (i + 1);
       }
       parent = acc % num_vars_;
       score = acc >> 44;
@@ -111,22 +103,21 @@ void BayesApp::worker(int tid) {
     const bool spawn = rng.below(8) == 0;
     atomic([&](Tx& tx) {
       if (parent < var && parents_[var]->insert(tx, parent)) {
-        tm_add(tx, &arcs_added_, std::uint64_t{1}, sites::kCounter);
+        arcs_added_.add(tx, 1);
       }
-      if (spawn && tm_read(tx, &tasks_created_, sites::kCounter) <
-                       initial_tasks_ * 2) {
+      if (spawn && tasks_created_.get(tx) < initial_tasks_ * 2) {
         task_list_->insert(tx, pack_task(score, parent));
-        tm_add(tx, &tasks_created_, std::uint64_t{1}, sites::kCounter);
+        tasks_created_.add(tx, 1);
       }
-      tm_add(tx, &tasks_done_, std::uint64_t{1}, sites::kCounter);
+      tasks_done_.add(tx, 1);
     });
   }
 
-  remove_private_memory_block(query_vector, sizeof(query_vector));
+  remove_private_memory_block(query_vector.data(), query_vector.size_bytes());
 }
 
 bool BayesApp::verify() {
-  if (tasks_done_ != tasks_created_) return false;
+  if (tasks_done_.peek() != tasks_created_.peek()) return false;
   // DAG by construction: every arc must point from a smaller id.
   Tx& tx = current_tx();
   bool ok = true;
@@ -139,7 +130,7 @@ bool BayesApp::verify() {
       ++arcs;
     }
   }
-  return ok && arcs == arcs_added_ && task_list_->empty(tx);
+  return ok && arcs == arcs_added_.peek() && task_list_->empty(tx);
 }
 
 }  // namespace cstm::stamp

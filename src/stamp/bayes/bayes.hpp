@@ -19,6 +19,12 @@
 
 namespace cstm::stamp {
 
+namespace bayes_sites {
+inline constexpr Site kCounter{"bayes.counter", true, false};
+// Thread-local query vector (Figure 1(b)): elidable only via annotations.
+inline constexpr Site kQueryVec{"bayes.query.vec", false, false};
+}  // namespace bayes_sites
+
 class BayesApp : public App {
  public:
   const char* name() const override { return "bayes"; }
@@ -35,9 +41,9 @@ class BayesApp : public App {
   std::unique_ptr<TxList<std::uint64_t>> task_list_;   // packed (score, var)
   std::vector<std::unique_ptr<TxList<std::uint64_t>>> parents_;  // per var
   std::vector<std::uint64_t> records_;                 // read-only samples
-  alignas(64) std::uint64_t tasks_done_ = 0;
-  alignas(64) std::uint64_t tasks_created_ = 0;
-  alignas(64) std::uint64_t arcs_added_ = 0;
+  alignas(64) tvar<std::uint64_t, bayes_sites::kCounter> tasks_done_{0};
+  alignas(64) tvar<std::uint64_t, bayes_sites::kCounter> tasks_created_{0};
+  alignas(64) tvar<std::uint64_t, bayes_sites::kCounter> arcs_added_{0};
 };
 
 }  // namespace cstm::stamp

@@ -8,10 +8,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-inline constexpr Site kMatch{"genome.match", true, false};
-}  // namespace sites
-
 void GenomeApp::setup(const AppParams& params) {
   params_ = params;
   gene_length_ = static_cast<std::size_t>(8192 * params.scale);
@@ -39,7 +35,7 @@ void GenomeApp::setup(const AppParams& params) {
   unique_ = std::make_unique<TxHashtable<std::uint64_t, std::uint64_t>>(
       num_segments_ / 2);
   claimed_ = std::make_unique<TxBitmap>(num_segments_);
-  matched_ = 0;
+  matched_.poke(0);
 }
 
 void GenomeApp::worker(int tid) {
@@ -72,14 +68,14 @@ void GenomeApp::worker(int tid) {
     });
     ++local_matches;
   }
-  atomic([&](Tx& tx) { tm_add(tx, &matched_, local_matches, sites::kMatch); });
+  atomic([&](Tx& tx) { matched_.add(tx, local_matches); });
 }
 
 bool GenomeApp::verify() {
   Tx& tx = current_tx();  // sequential: plain accesses
   if (unique_->size(tx) != reference_unique_) return false;
   if (claimed_->count_sequential() != num_segments_) return false;
-  return matched_ == num_segments_;
+  return matched_.peek() == num_segments_;
 }
 
 }  // namespace cstm::stamp

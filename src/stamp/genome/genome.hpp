@@ -18,6 +18,10 @@
 
 namespace cstm::stamp {
 
+namespace genome_sites {
+inline constexpr Site kMatch{"genome.match", true, false};
+}  // namespace genome_sites
+
 class GenomeApp : public App {
  public:
   const char* name() const override { return "genome"; }
@@ -36,7 +40,8 @@ class GenomeApp : public App {
   std::size_t reference_unique_ = 0;          // sequential ground truth
   std::unique_ptr<TxHashtable<std::uint64_t, std::uint64_t>> unique_;
   std::unique_ptr<TxBitmap> claimed_;
-  alignas(64) std::uint64_t matched_ = 0;     // phase-2 matches
+  // Phase-2 matches.
+  alignas(64) tvar<std::uint64_t, genome_sites::kMatch> matched_{0};
 };
 
 }  // namespace cstm::stamp

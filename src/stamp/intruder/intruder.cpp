@@ -7,12 +7,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-inline constexpr Site kFlowField{"intruder.flow.field", true, false};
-inline constexpr Site kFlowInit{"intruder.flow.init", false, true};
-inline constexpr Site kCounter{"intruder.counter", true, false};
-}  // namespace sites
-
 namespace {
 // The attack signature scanned for in completed flows.
 constexpr std::uint8_t kSignature[] = {0xde, 0xad, 0xbe, 0xef};
@@ -57,8 +51,8 @@ void IntruderApp::setup(const AppParams& params) {
   arrivals_ = std::make_unique<TxQueue<std::uint64_t>>();
   reassembly_ = std::make_unique<TxMap<std::uint64_t, FlowState*>>();
   completed_ = std::make_unique<TxQueue<std::uint64_t>>();
-  attacks_found_ = 0;
-  flows_done_ = 0;
+  attacks_found_.poke(0);
+  flows_done_.poke(0);
   Tx& tx = current_tx();
   for (const std::uint64_t frag : fragments) arrivals_->push(tx, frag);
 }
@@ -78,19 +72,16 @@ void IntruderApp::worker(int /*tid*/) {
       complete = false;
       FlowState* state = nullptr;
       if (!reassembly_->find(tx, flow, &state)) {
-        state = static_cast<FlowState*>(tx_malloc(tx, sizeof(FlowState)));
-        tm_write(tx, &state->received, std::uint64_t{0}, sites::kFlowInit);
-        tm_write(tx, &state->total,
-                 static_cast<std::uint64_t>(fragments_per_flow_),
-                 sites::kFlowInit);
+        state = tx_new<FlowState>(tx);
+        state->received.init(tx, 0);
+        state->total.init(tx, static_cast<std::uint64_t>(fragments_per_flow_));
         reassembly_->insert(tx, flow, state);
       }
-      const std::uint64_t recv =
-          tm_read(tx, &state->received, sites::kFlowField) + 1;
-      tm_write(tx, &state->received, recv, sites::kFlowField);
-      if (recv == tm_read(tx, &state->total, sites::kFlowField)) {
+      const std::uint64_t recv = state->received.get(tx) + 1;
+      state->received.set(tx, recv);
+      if (recv == state->total.get(tx)) {
         reassembly_->erase(tx, flow);
-        tx_free(tx, state);
+        tx_delete(tx, state);
         completed_->push(tx, flow);
         complete = true;
       }
@@ -109,9 +100,9 @@ void IntruderApp::worker(int /*tid*/) {
           std::search(data.begin(), data.end(), std::begin(kSignature),
                       std::end(kSignature)) != data.end();
       atomic([&](Tx& tx) {
-        tm_add(tx, &flows_done_, std::uint64_t{1}, sites::kCounter);
+        flows_done_.add(tx, 1);
         if (attack) {
-          tm_add(tx, &attacks_found_, std::uint64_t{1}, sites::kCounter);
+          attacks_found_.add(tx, 1);
         }
       });
     }
@@ -120,7 +111,8 @@ void IntruderApp::worker(int /*tid*/) {
 
 bool IntruderApp::verify() {
   Tx& tx = current_tx();
-  return flows_done_ == num_flows_ && attacks_found_ == planted_attacks_ &&
+  return flows_done_.peek() == num_flows_ &&
+         attacks_found_.peek() == planted_attacks_ &&
          reassembly_->size(tx) == 0 && completed_->empty(tx);
 }
 

@@ -16,6 +16,11 @@
 
 namespace cstm::stamp {
 
+namespace intruder_sites {
+inline constexpr Site kFlowField{"intruder.flow.field", true, false};
+inline constexpr Site kCounter{"intruder.counter", true, false};
+}  // namespace intruder_sites
+
 class IntruderApp : public App {
  public:
   const char* name() const override { return "intruder"; }
@@ -26,8 +31,8 @@ class IntruderApp : public App {
 
  private:
   struct FlowState {
-    std::uint64_t received;
-    std::uint64_t total;
+    tfield<std::uint64_t, intruder_sites::kFlowField> received;
+    tfield<std::uint64_t, intruder_sites::kFlowField> total;
   };
 
   AppParams params_;
@@ -39,8 +44,8 @@ class IntruderApp : public App {
   std::unique_ptr<TxQueue<std::uint64_t>> arrivals_;  // flow<<16 | frag
   std::unique_ptr<TxMap<std::uint64_t, FlowState*>> reassembly_;
   std::unique_ptr<TxQueue<std::uint64_t>> completed_;
-  alignas(64) std::uint64_t attacks_found_ = 0;
-  alignas(64) std::uint64_t flows_done_ = 0;
+  alignas(64) tvar<std::uint64_t, intruder_sites::kCounter> attacks_found_{0};
+  alignas(64) tvar<std::uint64_t, intruder_sites::kCounter> flows_done_{0};
 };
 
 }  // namespace cstm::stamp

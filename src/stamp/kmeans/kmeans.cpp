@@ -9,11 +9,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-// All shared-accumulator traffic: manually instrumented in original STAMP.
-inline constexpr Site kAccum{"kmeans.accum", true, false};
-}  // namespace sites
-
 void KmeansApp::setup(const AppParams& params) {
   params_ = params;
   num_points_ = static_cast<std::size_t>(16384 * params.scale);
@@ -34,7 +29,7 @@ void KmeansApp::setup(const AppParams& params) {
   new_centers_.assign(centers_.size(), 0.0f);
   new_len_.assign(static_cast<std::size_t>(num_clusters_), 0);
   membership_.assign(num_points_, -1);
-  assigned_total_ = 0;
+  assigned_total_.poke(0);
 }
 
 void KmeansApp::worker(int tid) {
@@ -66,24 +61,23 @@ void KmeansApp::worker(int tid) {
       // Shared accumulator update: the transactional kernel. Floats travel
       // through the word barriers unchanged.
       atomic([&](Tx& tx) {
-        tm_add(tx, &new_len_[static_cast<std::size_t>(best)],
-               std::uint64_t{1}, sites::kAccum);
+        tspan<std::uint64_t, kmeans_sites::kAccum> lens(new_len_);
+        lens.add(tx, static_cast<std::size_t>(best), 1);
+        tspan<float, kmeans_sites::kAccum> centers(new_centers_);
         for (int d = 0; d < kDims; ++d) {
-          float* slot = &new_centers_[static_cast<std::size_t>(best) * kDims + d];
-          const float cur = tm_read(tx, slot, sites::kAccum);
-          tm_write(tx, slot, cur + points_[p * kDims + d], sites::kAccum);
+          centers.add(tx, static_cast<std::size_t>(best) * kDims + d,
+                      points_[p * kDims + d]);
         }
       });
     }
-    atomic([&](Tx& tx) {
-      tm_add(tx, &assigned_total_, local_assigned, sites::kAccum);
-    });
+    atomic([&](Tx& tx) { assigned_total_.add(tx, local_assigned); });
   }
 }
 
 bool KmeansApp::verify() {
   // Every point was assigned in every iteration...
-  if (assigned_total_ != static_cast<std::uint64_t>(num_points_) * kIterations) {
+  if (assigned_total_.peek() !=
+      static_cast<std::uint64_t>(num_points_) * kIterations) {
     return false;
   }
   // ...and the accumulator counts add up to points * iterations.

@@ -14,8 +14,14 @@
 #include <vector>
 
 #include "stamp/app.hpp"
+#include "stm/stm.hpp"
 
 namespace cstm::stamp {
+
+namespace kmeans_sites {
+// All shared-accumulator traffic: manually instrumented in original STAMP.
+inline constexpr Site kAccum{"kmeans.accum", true, false};
+}  // namespace kmeans_sites
 
 class KmeansApp : public App {
  public:
@@ -42,7 +48,7 @@ class KmeansApp : public App {
   std::vector<float> new_centers_;     // shared accumulators (transactional)
   std::vector<std::uint64_t> new_len_; // shared counts (transactional)
   std::vector<int> membership_;        // per point, written by owner thread
-  alignas(64) std::uint64_t assigned_total_ = 0;
+  alignas(64) tvar<std::uint64_t, kmeans_sites::kAccum> assigned_total_{0};
 };
 
 }  // namespace cstm::stamp

@@ -8,11 +8,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-inline constexpr Site kGrid{"labyrinth.grid", true, false};
-inline constexpr Site kCounter{"labyrinth.counter", true, false};
-}  // namespace sites
-
 void LabyrinthApp::setup(const AppParams& params) {
   params_ = params;
   width_ = static_cast<std::size_t>(64 * params.scale);
@@ -21,7 +16,8 @@ void LabyrinthApp::setup(const AppParams& params) {
   num_paths_ = width_;  // enough to congest the grid without saturating it
 
   grid_.assign(width_ * height_, 0);
-  routed_ = failed_ = 0;
+  routed_.poke(0);
+  failed_.poke(0);
 
   Xoshiro256 rng(params.seed);
   Tx& tx = current_tx();
@@ -56,8 +52,11 @@ void LabyrinthApp::worker(int /*tid*/) {
 
     bool routed_this = false;
     for (int attempt = 0; attempt < 3 && !routed_this; ++attempt) {
-      // Expansion phase on the private snapshot (plain loads/stores).
-      std::copy(grid_.begin(), grid_.end(), snapshot.begin());
+      // Expansion phase on the private snapshot. The snapshot read races
+      // with concurrent claim commits by design (stale paths fail the
+      // claim-phase validation); relaxed loads keep that race defined.
+      tspan<std::uint64_t, labyrinth_sites::kGrid>(grid_).snapshot_to(
+          snapshot.data());
       std::fill(dist.begin(), dist.end(), -1);
       frontier.clear();
       dist[src] = 0;
@@ -108,11 +107,12 @@ void LabyrinthApp::worker(int /*tid*/) {
       bool claimed = false;
       atomic([&](Tx& tx) {
         claimed = false;
+        tspan<std::uint64_t, labyrinth_sites::kGrid> grid(grid_);
         for (const std::size_t cell : path) {
-          if (tm_read(tx, &grid_[cell], sites::kGrid) != 0) return;  // stale
+          if (grid.get(tx, cell) != 0) return;  // stale
         }
         for (const std::size_t cell : path) {
-          tm_write(tx, &grid_[cell], claim, sites::kGrid);
+          grid.set(tx, cell, claim);
         }
         claimed = true;
       });
@@ -121,9 +121,9 @@ void LabyrinthApp::worker(int /*tid*/) {
 
     atomic([&](Tx& tx) {
       if (routed_this) {
-        tm_add(tx, &routed_, std::uint64_t{1}, sites::kCounter);
+        routed_.add(tx, 1);
       } else {
-        tm_add(tx, &failed_, std::uint64_t{1}, sites::kCounter);
+        failed_.add(tx, 1);
       }
     });
   }
@@ -131,7 +131,7 @@ void LabyrinthApp::worker(int /*tid*/) {
 
 bool LabyrinthApp::verify() {
   // Each attempted path accounted exactly once.
-  if (routed_ + failed_ != planned_.size()) return false;
+  if (routed_.peek() + failed_.peek() != planned_.size()) return false;
   // Claimed cells carry a single claimant id; count distinct claims and
   // confirm it matches the number of routed paths.
   std::vector<std::uint64_t> claims;
@@ -140,7 +140,7 @@ bool LabyrinthApp::verify() {
   }
   std::sort(claims.begin(), claims.end());
   claims.erase(std::unique(claims.begin(), claims.end()), claims.end());
-  return claims.size() == routed_;
+  return claims.size() == routed_.peek();
 }
 
 }  // namespace cstm::stamp

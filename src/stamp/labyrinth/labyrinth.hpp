@@ -15,6 +15,11 @@
 
 namespace cstm::stamp {
 
+namespace labyrinth_sites {
+inline constexpr Site kGrid{"labyrinth.grid", true, false};
+inline constexpr Site kCounter{"labyrinth.counter", true, false};
+}  // namespace labyrinth_sites
+
 class LabyrinthApp : public App {
  public:
   const char* name() const override { return "labyrinth"; }
@@ -38,8 +43,8 @@ class LabyrinthApp : public App {
   std::vector<std::uint64_t> grid_;
   TxQueue<std::uint64_t> work_;  // packed (src<<32 | dst)
   std::vector<Work> planned_;
-  alignas(64) std::uint64_t routed_ = 0;
-  alignas(64) std::uint64_t failed_ = 0;
+  alignas(64) tvar<std::uint64_t, labyrinth_sites::kCounter> routed_{0};
+  alignas(64) tvar<std::uint64_t, labyrinth_sites::kCounter> failed_{0};
 };
 
 }  // namespace cstm::stamp

@@ -7,11 +7,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-inline constexpr Site kDegree{"ssca2.degree", true, false};
-inline constexpr Site kAdj{"ssca2.adjacency", true, false};
-}  // namespace sites
-
 void Ssca2App::setup(const AppParams& params) {
   params_ = params;
   num_vertices_ = static_cast<std::size_t>(4096 * params.scale);
@@ -60,9 +55,10 @@ void Ssca2App::worker(int tid) {
     // The kernel transaction: claim a slot in src's adjacency run and fill
     // it. Two shared reads + two shared writes, nothing captured.
     atomic([&](Tx& tx) {
-      const std::uint64_t idx = tm_read(tx, &fill_[src], sites::kAdj);
-      tm_write(tx, &fill_[src], idx + 1, sites::kAdj);
-      tm_write(tx, &adjacency_[offsets_[src] + idx], dst, sites::kAdj);
+      tspan<std::uint64_t, ssca2_sites::kAdj> fills(fill_);
+      const std::uint64_t idx = fills.add(tx, src, 1);  // fetch-add
+      tspan<std::uint32_t, ssca2_sites::kAdj> adjacency(adjacency_);
+      adjacency.set(tx, offsets_[src] + idx, dst);
     });
   }
 }

@@ -9,8 +9,13 @@
 #include <vector>
 
 #include "stamp/app.hpp"
+#include "stm/stm.hpp"
 
 namespace cstm::stamp {
+
+namespace ssca2_sites {
+inline constexpr Site kAdj{"ssca2.adjacency", true, false};
+}  // namespace ssca2_sites
 
 class Ssca2App : public App {
  public:

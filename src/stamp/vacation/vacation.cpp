@@ -8,18 +8,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-// Reservation bookkeeping: original STAMP instruments these by hand.
-inline constexpr Site kResField{"vacation.res.field", true, false};
-// Freshly allocated reservation/customer records initialized in-tx:
-// over-instrumented by a naive compiler, provably captured.
-inline constexpr Site kResInit{"vacation.res.init", false, true};
-inline constexpr Site kCustField{"vacation.cust.field", true, false};
-// Query vector accesses: thread-local data (Figure 1(b)); only the
-// annotation APIs can elide these, so static_captured stays false.
-inline constexpr Site kQueryVec{"vacation.query.vec", false, false};
-}  // namespace sites
-
 namespace {
 
 constexpr std::uint64_t pack_booking(std::uint64_t type, std::uint64_t id,
@@ -37,12 +25,14 @@ class WorkerCtxImpl {
  public:
   static constexpr std::size_t kMaxQueries = 8;
   explicit WorkerCtxImpl(std::uint64_t seed) : rng(seed) {
-    add_private_memory_block(query_ids, sizeof(query_ids));
+    add_private_memory_block(query_ids.data(), query_ids.size_bytes());
   }
-  ~WorkerCtxImpl() { remove_private_memory_block(query_ids, sizeof(query_ids)); }
+  ~WorkerCtxImpl() {
+    remove_private_memory_block(query_ids.data(), query_ids.size_bytes());
+  }
 
   Xoshiro256 rng;
-  std::uint64_t query_ids[kMaxQueries] = {};
+  tvar_array<std::uint64_t, kMaxQueries, vacation_sites::kQueryVec> query_ids;
 };
 
 }  // namespace
@@ -83,15 +73,15 @@ void VacationApp::setup(const AppParams& params) {
   for (std::uint64_t id = 0; id < relations_; ++id) {
     for (Kind k : {kCar, kRoom, kFlight}) {
       auto* r = static_cast<Reservation*>(Pool::local().allocate(sizeof(Reservation)));
-      r->num_used = 0;
-      r->num_total = rng.between(1, 5);
-      r->num_free = r->num_total;
-      r->price = rng.between(100, 999);
+      r->num_used.poke(0);
+      r->num_total.poke(rng.between(1, 5));
+      r->num_free.poke(r->num_total.peek());
+      r->price.poke(rng.between(100, 999));
       table_of(k).insert(tx, id, r);
     }
     auto* c = static_cast<Customer*>(Pool::local().allocate(sizeof(Customer)));
     c->id = id;
-    c->bill = 0;
+    c->bill.poke(0);
     c->bookings = new TxList<std::uint64_t>(/*allow_duplicates=*/true);
     customers_.insert(tx, id, c);
     all_customers_.push_back(c);
@@ -104,46 +94,45 @@ void VacationApp::task_make_reservation(Tx& tx, WorkerCtx& ctx) {
   // instruments every access to them (they escape into helper calls in the
   // original C), producing exactly the captured-stack barriers of Fig. 8.
   // The compiler capture analysis proves them transaction-local.
-  std::uint64_t chosen_id[3] = {0, 0, 0};
-  std::uint64_t found[3] = {0, 0, 0};
-  std::uint64_t best_price[3] = {0, 0, 0};
+  tvar_array<std::uint64_t, 3, kAutoCapturedSite> chosen_id;
+  tvar_array<std::uint64_t, 3, kAutoCapturedSite> found;
+  tvar_array<std::uint64_t, 3, kAutoCapturedSite> best_price;
   for (int k = 0; k < 3; ++k) {
     // Populate the thread-local query vector inside the transaction
     // (TMpopulateQueryVectors in Figure 1(b)).
     const int nq = queries_per_task_;
     for (int q = 0; q < nq; ++q) {
-      tm_write(tx, &ctx.query_ids[q], ctx.rng.below(query_range_),
-               sites::kQueryVec);
+      ctx.query_ids.set(tx, static_cast<std::size_t>(q),
+                        ctx.rng.below(query_range_));
     }
     for (int q = 0; q < nq; ++q) {
-      const std::uint64_t id = tm_read(tx, &ctx.query_ids[q], sites::kQueryVec);
+      const std::uint64_t id = ctx.query_ids.get(tx, static_cast<std::size_t>(q));
       Reservation* r = nullptr;
       if (!table_of(static_cast<Kind>(k)).find(tx, id, &r)) continue;
-      const std::uint64_t free = tm_read(tx, &r->num_free, sites::kResField);
-      const std::uint64_t price = tm_read(tx, &r->price, sites::kResField);
-      if (free > 0 && (tm_read(tx, &found[k], kAutoCapturedSite) == 0 ||
-                       price > tm_read(tx, &best_price[k], kAutoCapturedSite))) {
-        tm_write(tx, &found[k], std::uint64_t{1}, kAutoCapturedSite);
-        tm_write(tx, &best_price[k], price, kAutoCapturedSite);
-        tm_write(tx, &chosen_id[k], id, kAutoCapturedSite);
+      const std::uint64_t free = r->num_free.get(tx);
+      const std::uint64_t price = r->price.get(tx);
+      if (free > 0 && (found.get(tx, k) == 0 || price > best_price.get(tx, k))) {
+        found.set(tx, k, 1);
+        best_price.set(tx, k, price);
+        chosen_id.set(tx, k, id);
       }
     }
   }
   Customer* customer = nullptr;
   if (!customers_.find(tx, customer_id, &customer)) return;  // deleted
   for (int k = 0; k < 3; ++k) {
-    if (tm_read(tx, &found[k], kAutoCapturedSite) == 0) continue;
-    const std::uint64_t id = tm_read(tx, &chosen_id[k], kAutoCapturedSite);
-    const std::uint64_t price = tm_read(tx, &best_price[k], kAutoCapturedSite);
+    if (found.get(tx, k) == 0) continue;
+    const std::uint64_t id = chosen_id.get(tx, k);
+    const std::uint64_t price = best_price.get(tx, k);
     Reservation* r = nullptr;
     if (!table_of(static_cast<Kind>(k)).find(tx, id, &r)) continue;
-    const std::uint64_t free = tm_read(tx, &r->num_free, sites::kResField);
+    const std::uint64_t free = r->num_free.get(tx);
     if (free == 0) continue;
-    tm_write(tx, &r->num_free, free - 1, sites::kResField);
-    tm_add(tx, &r->num_used, std::uint64_t{1}, sites::kResField);
+    r->num_free.set(tx, free - 1);
+    r->num_used.add(tx, 1);
     customer->bookings->insert(
         tx, pack_booking(static_cast<std::uint64_t>(k), id, price));
-    tm_add(tx, &customer->bill, price, sites::kCustField);
+    customer->bill.add(tx, price);
   }
 }
 
@@ -161,12 +150,10 @@ void VacationApp::task_delete_customer(Tx& tx, WorkerCtx& ctx) {
     const std::uint64_t id = (booking >> 24) & 0xffffffffu;
     Reservation* r = nullptr;
     if (table_of(type).find(tx, id, &r)) {
-      tm_add(tx, &r->num_free, std::uint64_t{1}, sites::kResField);
-      const std::uint64_t used = tm_read(tx, &r->num_used, sites::kResField);
-      tm_write(tx, &r->num_used, used - 1, sites::kResField);
+      r->num_free.add(tx, 1);
+      r->num_used.set(tx, r->num_used.get(tx) - 1);
     }
-    tm_add(tx, &customer->bill,
-           std::uint64_t{0} - booking_price(booking), sites::kCustField);
+    customer->bill.add(tx, std::uint64_t{0} - booking_price(booking));
   }
   customer->bookings->clear(tx);
 }
@@ -180,29 +167,29 @@ void VacationApp::task_update_tables(Tx& tx, WorkerCtx& ctx, bool add) {
     if (add) {
       if (table_of(kind).find(tx, id, &r)) {
         // Grow existing inventory.
-        tm_add(tx, &r->num_total, std::uint64_t{1}, sites::kResField);
-        tm_add(tx, &r->num_free, std::uint64_t{1}, sites::kResField);
+        r->num_total.add(tx, 1);
+        r->num_free.add(tx, 1);
       } else {
         // Fresh reservation record allocated inside the transaction: its
-        // initialization is captured memory.
-        r = static_cast<Reservation*>(tx_malloc(tx, sizeof(Reservation)));
-        tm_write(tx, &r->num_used, std::uint64_t{0}, sites::kResInit);
-        tm_write(tx, &r->num_free, std::uint64_t{1}, sites::kResInit);
-        tm_write(tx, &r->num_total, std::uint64_t{1}, sites::kResInit);
-        tm_write(tx, &r->price, ctx.rng.between(100, 999), sites::kResInit);
+        // initialization is captured memory (tfield::init).
+        r = tx_new<Reservation>(tx);
+        r->num_used.init(tx, 0);
+        r->num_free.init(tx, 1);
+        r->num_total.init(tx, 1);
+        r->price.init(tx, ctx.rng.between(100, 999));
         table_of(kind).insert(tx, id, r);
       }
     } else {
       if (table_of(kind).find(tx, id, &r)) {
-        const std::uint64_t total = tm_read(tx, &r->num_total, sites::kResField);
-        const std::uint64_t free = tm_read(tx, &r->num_free, sites::kResField);
+        const std::uint64_t total = r->num_total.get(tx);
+        const std::uint64_t free = r->num_free.get(tx);
         if (free == total && total > 0) {
           // Retire one unit; drop the record when empty.
-          tm_write(tx, &r->num_total, total - 1, sites::kResField);
-          tm_write(tx, &r->num_free, free - 1, sites::kResField);
+          r->num_total.set(tx, total - 1);
+          r->num_free.set(tx, free - 1);
           if (total - 1 == 0) {
             table_of(kind).erase(tx, id);
-            tx_free(tx, r);
+            tx_delete(tx, r);
           }
         }
       }
@@ -233,7 +220,9 @@ bool VacationApp::verify() {
   bool ok = true;
   auto check_table = [&](Table& t) {
     t.for_each_sequential([&](std::uint64_t, Reservation* r) {
-      if (r->num_used + r->num_free != r->num_total) ok = false;
+      if (r->num_used.peek() + r->num_free.peek() != r->num_total.peek()) {
+        ok = false;
+      }
     });
   };
   check_table(cars_);

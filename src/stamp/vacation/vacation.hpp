@@ -21,6 +21,17 @@
 
 namespace cstm::stamp {
 
+namespace vacation_sites {
+// Reservation bookkeeping: original STAMP instruments these by hand.
+// Freshly allocated records initialized in-tx go through tfield::init
+// (over-instrumented by a naive compiler, provably captured).
+inline constexpr Site kResField{"vacation.res.field", true, false};
+inline constexpr Site kCustField{"vacation.cust.field", true, false};
+// Query vector accesses: thread-local data (Figure 1(b)); only the
+// annotation APIs can elide these, so static_captured stays false.
+inline constexpr Site kQueryVec{"vacation.query.vec", false, false};
+}  // namespace vacation_sites
+
 class VacationApp : public App {
  public:
   explicit VacationApp(bool high_contention) : high_(high_contention) {}
@@ -35,14 +46,14 @@ class VacationApp : public App {
 
  private:
   struct Reservation {
-    std::uint64_t num_used;
-    std::uint64_t num_free;
-    std::uint64_t num_total;
-    std::uint64_t price;
+    tfield<std::uint64_t, vacation_sites::kResField> num_used;
+    tfield<std::uint64_t, vacation_sites::kResField> num_free;
+    tfield<std::uint64_t, vacation_sites::kResField> num_total;
+    tfield<std::uint64_t, vacation_sites::kResField> price;
   };
   struct Customer {
-    std::uint64_t id;
-    std::uint64_t bill;
+    std::uint64_t id;  // immutable after setup: never accessed in-tx
+    tfield<std::uint64_t, vacation_sites::kCustField> bill;
     // Booked (type, id, price) triples packed into uint64 list entries.
     TxList<std::uint64_t>* bookings;
   };

@@ -5,12 +5,6 @@
 
 namespace cstm::stamp {
 
-namespace sites {
-inline constexpr Site kElemField{"yada.elem.field", true, false};
-inline constexpr Site kElemInit{"yada.elem.init", false, true};
-inline constexpr Site kCounter{"yada.counter", true, false};
-}  // namespace sites
-
 YadaApp::~YadaApp() {
   if (mesh_) {
     mesh_->for_each_sequential(
@@ -25,19 +19,19 @@ void YadaApp::setup(const AppParams& params) {
 
   mesh_ = std::make_unique<TxMap<std::uint64_t, Element*>>();
   work_ = std::make_unique<TxHeap<std::uint64_t>>(initial_elements_);
-  refinements_ = 0;
+  refinements_.poke(0);
 
   Xoshiro256 rng(params.seed);
   Tx& tx = current_tx();
   for (std::uint64_t id = 0; id < initial_elements_; ++id) {
     auto* e = static_cast<Element*>(Pool::local().allocate(sizeof(Element)));
-    e->id = id;
-    e->quality = rng.below(100);
-    e->generation = 0;
+    e->id.poke(id);
+    e->quality.poke(rng.below(100));
+    e->generation.poke(0);
     mesh_->insert(tx, id, e);
-    if (e->quality < kGoodQuality) work_->push(tx, id);
+    if (e->quality.peek() < kGoodQuality) work_->push(tx, id);
   }
-  next_id_ = initial_elements_;
+  next_id_.poke(initial_elements_);
 }
 
 void YadaApp::worker(int tid) {
@@ -53,21 +47,19 @@ void YadaApp::worker(int tid) {
       }
       Element* bad = nullptr;
       if (!mesh_->find(tx, bad_id, &bad)) return;  // refined away already
-      const std::uint64_t quality =
-          tm_read(tx, &bad->quality, sites::kElemField);
+      const std::uint64_t quality = bad->quality.get(tx);
       if (quality >= kGoodQuality) return;  // repaired by a neighbor cavity
-      const std::uint64_t generation =
-          tm_read(tx, &bad->generation, sites::kElemField);
+      const std::uint64_t generation = bad->generation.get(tx);
 
       // "Cavity": the bad element plus up to two id-adjacent neighbors.
       mesh_->erase(tx, bad_id);
-      tx_free(tx, bad);
+      tx_delete(tx, bad);
       int cavity = 1;
       for (const std::uint64_t nb : {bad_id - 1, bad_id + 1}) {
         Element* n = nullptr;
         if (nb < initial_elements_ && mesh_->find(tx, nb, &n)) {
           mesh_->erase(tx, nb);
-          tx_free(tx, n);
+          tx_delete(tx, n);
           ++cavity;
         }
       }
@@ -75,18 +67,16 @@ void YadaApp::worker(int tid) {
       // Retriangulate: cavity+1 new elements, each strictly better than the
       // destroyed bad one (guarantees termination).
       for (int i = 0; i <= cavity; ++i) {
-        const std::uint64_t id =
-            tm_read(tx, &next_id_, sites::kCounter);
-        tm_write(tx, &next_id_, id + 1, sites::kCounter);
-        auto* e = static_cast<Element*>(tx_malloc(tx, sizeof(Element)));
-        tm_write(tx, &e->id, id, sites::kElemInit);
+        const std::uint64_t id = next_id_.add(tx, 1);  // fetch-add: old value
+        auto* e = tx_new<Element>(tx);
+        e->id.init(tx, id);
         const std::uint64_t q = quality + 10 + rng.below(40);
-        tm_write(tx, &e->quality, q, sites::kElemInit);
-        tm_write(tx, &e->generation, generation + 1, sites::kElemInit);
+        e->quality.init(tx, q);
+        e->generation.init(tx, generation + 1);
         mesh_->insert(tx, id, e);
         if (q < kGoodQuality) work_->push(tx, id);
       }
-      tm_add(tx, &refinements_, std::uint64_t{1}, sites::kCounter);
+      refinements_.add(tx, 1);
     });
     if (done) return;
   }
@@ -97,9 +87,9 @@ bool YadaApp::verify() {
   if (!work_->empty(tx)) return false;
   bool ok = true;
   mesh_->for_each_sequential([&](std::uint64_t id, Element* e) {
-    if (e->quality < kGoodQuality || e->id != id) ok = false;
+    if (e->quality.peek() < kGoodQuality || e->id.peek() != id) ok = false;
   });
-  return ok && refinements_ > 0;
+  return ok && refinements_.peek() > 0;
 }
 
 }  // namespace cstm::stamp

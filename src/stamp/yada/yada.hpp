@@ -20,6 +20,11 @@
 
 namespace cstm::stamp {
 
+namespace yada_sites {
+inline constexpr Site kElemField{"yada.elem.field", true, false};
+inline constexpr Site kCounter{"yada.counter", true, false};
+}  // namespace yada_sites
+
 class YadaApp : public App {
  public:
   const char* name() const override { return "yada"; }
@@ -30,9 +35,11 @@ class YadaApp : public App {
 
  private:
   struct Element {
-    std::uint64_t id;
-    std::uint64_t quality;     // refinement improves this monotonically
-    std::uint64_t generation;  // refinement depth (diagnostics)
+    tfield<std::uint64_t, yada_sites::kElemField> id;
+    // Refinement improves quality monotonically.
+    tfield<std::uint64_t, yada_sites::kElemField> quality;
+    // Refinement depth (diagnostics).
+    tfield<std::uint64_t, yada_sites::kElemField> generation;
   };
 
   static constexpr std::uint64_t kGoodQuality = 30;
@@ -41,8 +48,8 @@ class YadaApp : public App {
   std::size_t initial_elements_ = 0;
   std::unique_ptr<TxMap<std::uint64_t, Element*>> mesh_;
   std::unique_ptr<TxHeap<std::uint64_t>> work_;  // bad element ids (max-heap)
-  alignas(64) std::uint64_t next_id_ = 0;
-  alignas(64) std::uint64_t refinements_ = 0;
+  alignas(64) tvar<std::uint64_t, yada_sites::kCounter> next_id_{0};
+  alignas(64) tvar<std::uint64_t, yada_sites::kCounter> refinements_{0};
 };
 
 }  // namespace cstm::stamp

@@ -176,10 +176,21 @@ void tm_write(Tx& tx, T* addr, T value, const Site& site = kSharedSite) {
   detail::full_tm_write(tx, addr, value);
 }
 
-/// Read-modify-write convenience used by counters in the benchmarks.
+/// Transactional fetch-add used by counters: reads and writes *addr through
+/// the SAME Site on one explicit path, so the two legs of the
+/// read-modify-write can never disagree on capture classification. Returns
+/// the previous value. Outside a transaction this is a plain load + store,
+/// mirroring tm_read/tm_write.
 template <TmValue T>
-void tm_add(Tx& tx, T* addr, T delta, const Site& site = kSharedSite) {
-  tm_write(tx, addr, static_cast<T>(tm_read(tx, addr, site) + delta), site);
+T tm_add(Tx& tx, T* addr, T delta, const Site& site = kSharedSite) {
+  if (!tx.in_tx()) {
+    const T old = *addr;
+    *addr = static_cast<T>(old + delta);
+    return old;
+  }
+  const T old = tm_read(tx, addr, site);
+  tm_write(tx, addr, static_cast<T>(old + delta), site);
+  return old;
 }
 
 }  // namespace cstm

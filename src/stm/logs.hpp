@@ -72,9 +72,65 @@ class UndoLog : public TxLog<UndoEntry> {
       const UndoEntry& e = (*this)[i];
       const auto a = reinterpret_cast<std::uintptr_t>(e.addr);
       if (a >= skip_lo && a < skip_hi) continue;
-      std::memcpy(e.addr, &e.image, e.len);
+      store_image(e.addr, e.image, e.len);
     }
     truncate(from);
+  }
+
+ private:
+  /// Restore stores race with optimistic readers that are about to fail
+  /// validation (the word's orec is locked by the aborting owner, so any
+  /// concurrent reader re-samples and discards the value). Relaxed atomic
+  /// stores keep those races well-defined — same x86-64 codegen as plain
+  /// moves, no false positives under ThreadSanitizer.
+  static void store_image(void* addr, std::uint64_t image, std::uint32_t len) {
+    // record() fills `image` with memcpy of the object representation, so
+    // every extraction here must also go through memcpy — a value cast
+    // would read the wrong end of `image` on big-endian targets.
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    switch (len) {
+      case 8:
+        if (a % 8 == 0) {
+          __atomic_store_n(static_cast<std::uint64_t*>(addr), image,
+                           __ATOMIC_RELAXED);
+          return;
+        }
+        break;
+      case 4:
+        if (a % 4 == 0) {
+          std::uint32_t v;
+          std::memcpy(&v, &image, sizeof(v));
+          __atomic_store_n(static_cast<std::uint32_t*>(addr), v,
+                           __ATOMIC_RELAXED);
+          return;
+        }
+        break;
+      case 2:
+        if (a % 2 == 0) {
+          std::uint16_t v;
+          std::memcpy(&v, &image, sizeof(v));
+          __atomic_store_n(static_cast<std::uint16_t*>(addr), v,
+                           __ATOMIC_RELAXED);
+          return;
+        }
+        break;
+      case 1: {
+        std::uint8_t v;
+        std::memcpy(&v, &image, sizeof(v));
+        __atomic_store_n(static_cast<std::uint8_t*>(addr), v,
+                         __ATOMIC_RELAXED);
+        return;
+      }
+      default:
+        break;
+    }
+    // Unaligned or odd-length pre-image: restore byte-wise.
+    unsigned char bytes[sizeof(image)];
+    std::memcpy(bytes, &image, sizeof(bytes));
+    auto* p = static_cast<unsigned char*>(addr);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      __atomic_store_n(p + i, bytes[i], __ATOMIC_RELAXED);
+    }
   }
 };
 

@@ -1,9 +1,13 @@
 // Umbrella header: the full capstm public API.
 //
+//   cstm::tvar<std::uint64_t> shared{0};
 //   cstm::atomic([&](cstm::Tx& tx) {
-//     int v = cstm::tm_read(tx, &shared);
-//     cstm::tm_write(tx, &shared, v + 1);
+//     shared.set(tx, shared.get(tx) + 1);
 //   });
+//
+// The typed accessors (tvar/tfield/tvar_array/tspan, stm/tvar.hpp) are the
+// preferred front end; the raw barrier functions (tm_read/tm_write/tm_add,
+// stm/barriers.hpp) remain the documented low-level backend.
 //
 // Configuration presets (TxConfig::baseline/runtime_rw/runtime_w/
 // runtime_heap_w/compiler) select the paper's optimization variants.
@@ -15,5 +19,6 @@
 #include "stm/descriptor.hpp"
 #include "stm/site.hpp"
 #include "stm/stats.hpp"
+#include "stm/tvar.hpp"
 #include "stm/txn.hpp"
 #include "txmalloc/txalloc.hpp"

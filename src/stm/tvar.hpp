@@ -1,0 +1,215 @@
+// Typed transactional-object API: the preferred front end over the raw
+// tm_read/tm_write barrier functions.
+//
+// The paper's central argument is that barrier placement and elision
+// decisions belong to the instrumentation layer, not the application
+// (Section 3). The raw API scatters that decision across every call site:
+// each tm_read(tx, &x, site) picks a Site by hand, and a wrong or missing
+// Site silently corrupts the measurement methodology (Section 4.1) or the
+// static-elision soundness. The typed API binds the Site to the *field
+// type* instead, so the decision is made exactly once, next to the data:
+//
+//   cstm::tvar<std::uint64_t, my_sites::kCounter> counter{0};
+//   cstm::atomic([&](cstm::Tx& tx) {
+//     counter.set(tx, counter.get(tx) + 1);   // explicit accessors
+//     counter.add(tx, 1);                     // read-modify-write
+//     counter(tx) += 1;                       // bound-reference proxy
+//   });
+//
+// Vocabulary (all compile down to the same barrier call with the Site
+// resolved statically — zero runtime cost over the raw functions):
+//
+//  * tvar<T, Site>       — a standalone transactional variable.
+//  * tfield<T, Site>     — the same wrapper, named for struct members of
+//                          transactional objects; adds meaning, not code.
+//  * tvar_array<T, N, S> — a fixed-size array of transactional slots
+//                          (query buffers, per-task scratch).
+//  * tspan<T, S>         — a transactional view over external storage
+//                          (vector backing stores, bucket arrays).
+//
+// Every wrapper also exposes init(tx, v): an initializing store for memory
+// freshly allocated in this transaction (tx_new). init routes through a
+// Site derived from the field's Site with manual=false and
+// static_captured=true — the paper's "compiler over-instrumented, capture
+// analysis elides" classification — so constructing an object inside a
+// transaction automatically gets the captured-memory fast path without the
+// call site naming a second Site.
+//
+// Outside-transaction access for setup/verification code uses peek()/
+// poke(), which are plain loads/stores (the barriers degenerate to the
+// same thing outside a transaction; peek/poke just say so in the name).
+//
+// The raw tm_read/tm_write/tm_add free functions in stm/barriers.hpp
+// remain the documented low-level backend for code that must pick Sites
+// dynamically; see docs/ARCHITECTURE.md ("low-level barrier API").
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "stm/barriers.hpp"
+
+namespace cstm {
+
+template <typename T, const Site& S = kSharedSite>
+  requires TmValue<T>
+class tvar {
+ public:
+  using value_type = T;
+
+  /// The Site every get/set/add on this field type routes through.
+  static constexpr const Site& site() { return S; }
+
+  /// Initializing stores (init) are compiler-provably captured: the object
+  /// was allocated in this transaction, so a naive compiler's barrier here
+  /// is over-instrumentation that capture analysis elides (Section 3.2).
+  static constexpr Site kInitSite{S.name, /*manual=*/false,
+                                  /*static_captured=*/true};
+
+  constexpr tvar() = default;
+  constexpr tvar(T v) : raw_(v) {}  // NOLINT: aggregate-style member init
+
+  // -- Transactional accessors ----------------------------------------------
+  T get(Tx& tx) const { return tm_read(tx, &raw_, S); }
+  void set(Tx& tx, T v) { tm_write(tx, &raw_, v, S); }
+  /// Fetch-add; returns the previous value.
+  T add(Tx& tx, T delta) { return tm_add(tx, &raw_, delta, S); }
+  /// Initializing store right after tx_new (see kInitSite above).
+  void init(Tx& tx, T v) { tm_write(tx, &raw_, v, kInitSite); }
+
+  // -- Bound-reference proxy -------------------------------------------------
+  /// tvar(tx) yields a reference-like object usable as a T lvalue:
+  ///   v(tx) = 3;  x = v(tx);  v(tx) += 2;
+  class ref {
+   public:
+    ref(Tx& tx, tvar& v) : tx_(&tx), var_(&v) {}
+    operator T() const { return var_->get(*tx_); }
+    ref& operator=(T v) {
+      var_->set(*tx_, v);
+      return *this;
+    }
+    // `dst(tx) = src(tx)` must copy the value, not rebind the proxy (the
+    // implicit copy assignment would win overload resolution otherwise).
+    ref& operator=(const ref& o) { return *this = static_cast<T>(o); }
+    ref& operator+=(T delta) {
+      var_->add(*tx_, delta);
+      return *this;
+    }
+
+   private:
+    Tx* tx_;
+    tvar* var_;
+  };
+  ref operator()(Tx& tx) { return ref(tx, *this); }
+  T operator()(Tx& tx) const { return get(tx); }
+
+  // -- Non-transactional access (setup / teardown / verification) -----------
+  T peek() const { return raw_; }
+  void poke(T v) { raw_ = v; }
+
+  /// Escape hatch to the raw barrier API (address of the wrapped value).
+  T* raw() { return &raw_; }
+  const T* raw() const { return &raw_; }
+
+ private:
+  T raw_;
+};
+
+/// A tvar used as a member of a transactional object (a struct allocated
+/// with tx_new and reached through transactional pointers). Identical to
+/// tvar; the distinct name documents intent at the declaration site.
+template <typename T, const Site& S = kSharedSite>
+using tfield = tvar<T, S>;
+
+/// Fixed-size array of transactional slots with one statically bound Site
+/// for every element (thread-local query buffers, per-task scratch arrays).
+/// Zero-initialized, like the stack arrays it replaces.
+template <typename T, std::size_t N, const Site& S = kSharedSite>
+  requires TmValue<T>
+class tvar_array {
+ public:
+  using value_type = T;
+
+  static constexpr const Site& site() { return S; }
+  static constexpr Site kInitSite{S.name, /*manual=*/false,
+                                  /*static_captured=*/true};
+
+  T get(Tx& tx, std::size_t i) const { return tm_read(tx, &raw_[i], S); }
+  void set(Tx& tx, std::size_t i, T v) { tm_write(tx, &raw_[i], v, S); }
+  T add(Tx& tx, std::size_t i, T delta) {
+    return tm_add(tx, &raw_[i], delta, S);
+  }
+  void init(Tx& tx, std::size_t i, T v) { tm_write(tx, &raw_[i], v, kInitSite); }
+
+  static constexpr std::size_t size() { return N; }
+  static constexpr std::size_t size_bytes() { return N * sizeof(T); }
+
+  /// Underlying storage, e.g. for add_private_memory_block annotations.
+  T* data() { return raw_; }
+  const T* data() const { return raw_; }
+
+  T peek(std::size_t i) const { return raw_[i]; }
+  void poke(std::size_t i, T v) { raw_[i] = v; }
+
+ private:
+  T raw_[N] = {};
+};
+
+/// Transactional view over external storage: a (pointer, length) pair whose
+/// element accesses route through one statically bound Site. The view does
+/// not own the memory — containers wrap their backing stores in a tspan per
+/// operation, and apps wrap std::vector data they share across threads.
+template <typename T, const Site& S = kSharedSite>
+  requires TmValue<T>
+class tspan {
+ public:
+  using value_type = T;
+
+  static constexpr const Site& site() { return S; }
+  static constexpr Site kInitSite{S.name, /*manual=*/false,
+                                  /*static_captured=*/true};
+
+  constexpr tspan(T* data, std::size_t n) : data_(data), n_(n) {}
+
+  /// View over a contiguous container (std::vector and friends).
+  template <typename C>
+    requires requires(C& c) {
+      { c.data() } -> std::convertible_to<T*>;
+      { c.size() } -> std::convertible_to<std::size_t>;
+    }
+  constexpr explicit tspan(C& c) : data_(c.data()), n_(c.size()) {}
+
+  T get(Tx& tx, std::size_t i) const { return tm_read(tx, &data_[i], S); }
+  void set(Tx& tx, std::size_t i, T v) const { tm_write(tx, &data_[i], v, S); }
+  T add(Tx& tx, std::size_t i, T delta) const {
+    return tm_add(tx, &data_[i], delta, S);
+  }
+  /// Initializing store into a freshly tx_malloc'd backing store (e.g. the
+  /// captured grow-and-copy of TxVector/TxHeap, the paper's Figure 1(b)).
+  void init(Tx& tx, std::size_t i, T v) const {
+    tm_write(tx, &data_[i], v, kInitSite);
+  }
+
+  std::size_t size() const { return n_; }
+  T* data() const { return data_; }
+
+  T peek(std::size_t i) const { return data_[i]; }
+  void poke(std::size_t i, T v) const { data_[i] = v; }
+
+  /// Non-transactional racy snapshot: copies the viewed elements into
+  /// [dst, dst+size()) with relaxed atomic loads. For algorithms that
+  /// deliberately read shared state outside a transaction and re-validate
+  /// inside one (labyrinth's expansion phase over the grid); the relaxed
+  /// atomics keep the intentional race well-defined.
+  void snapshot_to(T* dst) const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      dst[i] = detail::load_relaxed(&data_[i]);
+    }
+  }
+
+ private:
+  T* data_;
+  std::size_t n_;
+};
+
+}  // namespace cstm

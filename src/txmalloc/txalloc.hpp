@@ -53,13 +53,23 @@ inline void tx_free(Tx& tx, void* p) {
 }
 
 /// Typed allocation helpers for trivially destructible payloads (the only
-/// kind the transactional containers store in shared memory).
+/// kind the transactional containers store in shared memory). Construction
+/// is bound to allocation-log registration: the block is recorded before
+/// the constructor runs, so initializing stores — tfield::init or plain
+/// stores from the constructor — hit memory the heap-capture check already
+/// classifies as transaction-local. With no arguments the object is
+/// default-initialized (no stores), matching the raw tx_malloc pattern the
+/// containers grew up on; field values then come from tfield::init.
 template <typename T, typename... Args>
 T* tx_new(Tx& tx, Args&&... args) {
   static_assert(std::is_trivially_destructible_v<T>,
                 "transactional objects must be trivially destructible");
   void* p = tx_malloc(tx, sizeof(T));
-  return ::new (p) T(std::forward<Args>(args)...);
+  if constexpr (sizeof...(Args) == 0) {
+    return ::new (p) T;  // default-init: no stores for trivial field types
+  } else {
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
 }
 
 template <typename T>
