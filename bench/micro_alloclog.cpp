@@ -3,12 +3,15 @@
 // ablation behind the paper's tree/array/filter comparison: the array wins
 // on tiny logs (one cache line), the tree scales, the filter pays per-word
 // insertion costs.
+//
+// Each benchmark is a template over the concrete log type — the same
+// devirtualized shape the barrier fast paths use — so the numbers measure
+// the data structure, not a vtable.
 #include <benchmark/benchmark.h>
 
 #include "gbench_smoke.hpp"
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "capture/array_log.hpp"
@@ -19,61 +22,72 @@ namespace {
 
 using namespace cstm;
 
-std::unique_ptr<AllocLog> make_log(int kind) {
-  switch (kind) {
-    case 0: return std::make_unique<TreeAllocLog>();
-    case 1: return std::make_unique<ArrayAllocLog>();
-    default: return std::make_unique<FilterAllocLog>();
-  }
-}
-
+template <CaptureLog Log>
 void BM_AllocLogInsertClear(benchmark::State& state) {
-  auto log = make_log(static_cast<int>(state.range(0)));
-  const std::size_t blocks = static_cast<std::size_t>(state.range(1));
+  Log log;
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     for (std::size_t i = 0; i < blocks; ++i) {
-      log->insert(reinterpret_cast<void*>(0x100000 + i * 256), 64);
+      log.insert(reinterpret_cast<void*>(0x100000 + i * 256), 64);
     }
-    log->clear();
+    log.clear();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(blocks));
 }
-BENCHMARK(BM_AllocLogInsertClear)
-    ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}});
+BENCHMARK_TEMPLATE(BM_AllocLogInsertClear, TreeAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_TEMPLATE(BM_AllocLogInsertClear, ArrayAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_TEMPLATE(BM_AllocLogInsertClear, FilterAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
+template <CaptureLog Log>
 void BM_AllocLogLookupHit(benchmark::State& state) {
-  auto log = make_log(static_cast<int>(state.range(0)));
-  const std::size_t blocks = static_cast<std::size_t>(state.range(1));
+  Log log;
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
   for (std::size_t i = 0; i < blocks; ++i) {
-    log->insert(reinterpret_cast<void*>(0x100000 + i * 256), 64);
+    log.insert(reinterpret_cast<void*>(0x100000 + i * 256), 64);
   }
   std::size_t i = 0;
   bool sink = false;
   for (auto _ : state) {
-    sink ^= log->contains(reinterpret_cast<void*>(0x100000 + (i % blocks) * 256 + 8), 8);
+    sink ^= log.contains(
+        reinterpret_cast<void*>(0x100000 + (i % blocks) * 256 + 8), 8);
     ++i;
   }
   benchmark::DoNotOptimize(sink);
 }
-BENCHMARK(BM_AllocLogLookupHit)->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}});
+BENCHMARK_TEMPLATE(BM_AllocLogLookupHit, TreeAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_TEMPLATE(BM_AllocLogLookupHit, ArrayAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_TEMPLATE(BM_AllocLogLookupHit, FilterAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
+template <CaptureLog Log>
 void BM_AllocLogLookupMiss(benchmark::State& state) {
-  auto log = make_log(static_cast<int>(state.range(0)));
-  const std::size_t blocks = static_cast<std::size_t>(state.range(1));
+  Log log;
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
   for (std::size_t i = 0; i < blocks; ++i) {
-    log->insert(reinterpret_cast<void*>(0x100000 + i * 256), 64);
+    log.insert(reinterpret_cast<void*>(0x100000 + i * 256), 64);
   }
   std::size_t i = 0;
   bool sink = false;
   for (auto _ : state) {
     // Addresses interleaved between blocks: always misses. The miss path is
     // the paper's "optimize the common case" design target.
-    sink ^= log->contains(reinterpret_cast<void*>(0x100000 + (i % blocks) * 256 + 128), 8);
+    sink ^= log.contains(
+        reinterpret_cast<void*>(0x100000 + (i % blocks) * 256 + 128), 8);
     ++i;
   }
   benchmark::DoNotOptimize(sink);
 }
-BENCHMARK(BM_AllocLogLookupMiss)->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}});
+BENCHMARK_TEMPLATE(BM_AllocLogLookupMiss, TreeAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_TEMPLATE(BM_AllocLogLookupMiss, ArrayAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_TEMPLATE(BM_AllocLogLookupMiss, FilterAllocLog)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_FilterLargeBlockInsert(benchmark::State& state) {
   FilterAllocLog log;

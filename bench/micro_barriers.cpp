@@ -2,6 +2,12 @@
 // elided barrier under each capture-check mechanism, plus the ablation the
 // paper implies (how much a failed runtime check costs on top of a full
 // barrier). google-benchmark based.
+//
+// The BM_Dispatch_* group measures the per-transaction barrier-plan
+// dispatch: the capture-hit paths under each specialized plan (stack /
+// heap×{tree,array,filter} / static), read and write side. These are the
+// paths the plan refactor devirtualized — a regression here means an
+// indirect call or config branch crept back into the hot loop.
 #include <benchmark/benchmark.h>
 
 #include "gbench_smoke.hpp"
@@ -110,6 +116,91 @@ void BM_WriteBarrier_StaticElision(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_WriteBarrier_StaticElision);
+
+// -- Dispatch-cost measurements (the plan-specialized capture-hit paths) ----
+
+// Heap-hit READ path: the capture check that must "pay for itself on every
+// workload". One membership query per read, always a hit, no indirect call.
+void BM_Dispatch_ReadElidedHeap(benchmark::State& state) {
+  set_global_config(TxConfig::runtime_rw(
+      static_cast<AllocLogKind>(state.range(0))));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      auto* block = static_cast<std::uint64_t*>(tx_malloc(tx, 1024 * 8));
+      for (std::size_t i = 0; i < 1024; ++i) {
+        tm_write(tx, &block[i], i, kAutoSite);
+      }
+      for (std::size_t i = 0; i < 1024; ++i) {
+        sink += tm_read(tx, &block[i], kAutoSite);
+      }
+      tx_free(tx, block);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Dispatch_ReadElidedHeap)->Arg(0)->Arg(1)->Arg(2);
+
+// Stack-hit READ path: the single range check of Figure 4, read side.
+void BM_Dispatch_ReadElidedStack(benchmark::State& state) {
+  set_global_config(TxConfig::runtime_rw());
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      std::uint64_t local[64] = {};
+      for (std::size_t i = 0; i < 64; ++i) {
+        sink += tm_read(tx, &local[i], kAutoSite);
+      }
+      benchmark::DoNotOptimize(local);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Dispatch_ReadElidedStack);
+
+// Static-elision READ path: the kStatic plan's Site-flag test.
+void BM_Dispatch_ReadStaticElision(benchmark::State& state) {
+  set_global_config(TxConfig::compiler());
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      auto* block = static_cast<std::uint64_t*>(tx_malloc(tx, 1024 * 8));
+      for (std::size_t i = 0; i < 1024; ++i) {
+        tm_write(tx, &block[i], i, kAutoCapturedSite);
+      }
+      for (std::size_t i = 0; i < 1024; ++i) {
+        sink += tm_read(tx, &block[i], kAutoCapturedSite);
+      }
+      tx_free(tx, block);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Dispatch_ReadStaticElision);
+
+// Baseline-plan dispatch overhead: a kFull plan still goes through the
+// plan switch before the full barrier; compare against BM_FullReadBarrier
+// from the pre-plan code to see the slot's cost (it should be free — the
+// switch replaces the old chain of cfg tests).
+void BM_Dispatch_FullBarrierViaPlan(benchmark::State& state) {
+  set_global_config(TxConfig::baseline());
+  std::vector<std::uint64_t> data(1024, 1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        sink += tm_read(tx, &data[i]);
+        tm_write(tx, &data[i], sink);
+      }
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_Dispatch_FullBarrierViaPlan);
 
 }  // namespace
 

@@ -1,22 +1,55 @@
 #!/usr/bin/env bash
-# Perf-trajectory record: runs the Figure 10 bench (single-thread speedup of
-# every optimization config over baseline, all 10 STAMP workloads) at a
-# fixed scale and emits machine-readable BENCH_fig10.json in the repo root.
-# Compare the JSON across commits to track the perf trajectory.
+# Perf-trajectory record, two figures:
+#
+#  * BENCH_fig10.json — Figure 10 single-thread speedups over baseline, all
+#    10 STAMP workloads, at a fixed scale.
+#  * BENCH_fig11.json — the first multi-thread record: Figure 11(a)
+#    (optimization configs) and 11(b) (alloc-log structures) at
+#    FIG11_THREADS threads, merged into one JSON object.
+#
+# Compare the JSONs across commits to track the perf trajectory. Note the CI
+# box has a single core: multi-thread numbers measure oversubscribed
+# scheduling, not parallel scaling, and are noisy — trust medians and signs,
+# not digits.
 #
 # Usage: scripts/bench_json.sh [scale] [reps]
 #   scale  defaults to 1.0 (approaches paper-size inputs; still seconds-fast)
 #   reps   defaults to 5 (median-of-N per cell)
+# Environment overrides for the fig11 runs:
+#   FIG11_THREADS (default 4), FIG11_SCALE (default 3.0 — larger than fig10
+#   so per-cell times rise out of the scheduler-jitter floor), FIG11_REPS
+#   (default 5).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 scale="${1:-1.0}"
 reps="${2:-5}"
+fig11_threads="${FIG11_THREADS:-4}"
+fig11_scale="${FIG11_SCALE:-3.0}"
+fig11_reps="${FIG11_REPS:-5}"
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_fig10_single_thread
+cmake --build build -j "$jobs" --target bench_fig10_single_thread \
+  bench_fig11a_scal_configs bench_fig11b_structures
 
 ./build/bench_fig10_single_thread \
   --scale "$scale" --reps "$reps" --json BENCH_fig10.json
 echo "wrote $(pwd)/BENCH_fig10.json"
+
+tmpa=$(mktemp) && tmpb=$(mktemp)
+trap 'rm -f "$tmpa" "$tmpb"' EXIT
+./build/bench_fig11a_scal_configs --scale "$fig11_scale" \
+  --reps "$fig11_reps" --threads "$fig11_threads" --json "$tmpa"
+./build/bench_fig11b_structures --scale "$fig11_scale" \
+  --reps "$fig11_reps" --threads "$fig11_threads" --json "$tmpb"
+{
+  echo '{'
+  echo '"fig11a":'
+  cat "$tmpa"
+  echo ','
+  echo '"fig11b":'
+  cat "$tmpb"
+  echo '}'
+} > BENCH_fig11.json
+echo "wrote $(pwd)/BENCH_fig11.json"

@@ -20,6 +20,9 @@ done
 echo "== typed-API boundary =="
 scripts/check_typed_api.sh
 
+echo "== devirtualized fast path =="
+scripts/check_devirt.sh
+
 echo "== tier-1: release build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs"
@@ -29,7 +32,10 @@ echo "== format check =="
 if command -v clang-format > /dev/null 2>&1; then
   cmake --build build --target check-format
 else
-  echo "skipped: clang-format not installed"
+  echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+  echo "!!! SKIP: clang-format not installed — format check DID NOT RUN" >&2
+  echo "!!! install clang-format to enable the check-format gate"        >&2
+  echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
 fi
 
 echo "== ASan build + ctest =="

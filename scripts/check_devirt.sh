@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Devirtualization gate for the capture fast path (registered as the
+# `devirtualized_fast_path` ctest).
+#
+# The barrier plan refactor removed every vtable from the capture machinery:
+# membership checks inline from the CaptureFrame, and the per-transaction
+# plan replaces per-access indirect dispatch. A `virtual` reappearing in
+# src/capture/ or stm/barriers.hpp means an indirect call crept back into
+# the hottest path in the system — fail loudly before a benchmark has to
+# notice.
+#
+# Comments are stripped with the compiler's own preprocessor
+# (-fpreprocessed consumes comments and nothing else), so prose about the
+# removed vtable design cannot trip the gate and a `virtual` hidden behind
+# a block comment on the same line cannot slip past it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cxx="${CXX:-c++}"
+offenders=""
+while IFS= read -r f; do
+  if "$cxx" -fpreprocessed -dD -E -P -x c++ "$f" 2>/dev/null \
+      | grep -qw 'virtual'; then
+    offenders+="$f"$'\n'
+  fi
+done < <(find src/capture src/stm/barriers.hpp \
+           \( -name '*.hpp' -o -name '*.cpp' \) | sort)
+
+if [ -n "$offenders" ]; then
+  echo "FAIL: 'virtual' found in the capture fast path (comments excluded):" >&2
+  printf '%s' "$offenders" >&2
+  echo "The capture logs and barriers must stay vtable-free;" >&2
+  echo "dispatch belongs in the barrier plan (stm/barrier_plan.hpp)." >&2
+  exit 1
+fi
+
+echo "devirtualized_fast_path: OK (no 'virtual' in src/capture or stm/barriers.hpp)"

@@ -3,6 +3,10 @@
 // touches a single line. When the array is full further allocations are
 // simply not tracked — a conservative approximation the paper justifies by
 // observing that most transactions perform few allocations.
+//
+// The whole structure is a flat, trivially-embeddable value: it lives inline
+// inside the CaptureFrame of every transaction descriptor, so the hot
+// membership scan and the stack-bounds check share adjacent cache lines.
 #pragma once
 
 #include <cstdint>
@@ -12,13 +16,13 @@
 
 namespace cstm {
 
-class ArrayAllocLog final : public AllocLog {
+class ArrayAllocLog {
  public:
   /// (begin, end) pairs of std::uintptr_t; one 64-byte line holds 4 on LP64.
   static constexpr std::size_t kCapacity =
       kCacheLineSize / (2 * sizeof(std::uintptr_t));
 
-  void insert(const void* addr, std::size_t size) override {
+  void insert(const void* addr, std::size_t size) {
     if (size == 0) return;
     const auto begin = reinterpret_cast<std::uintptr_t>(addr);
     for (auto& r : ranges_) {
@@ -32,7 +36,7 @@ class ArrayAllocLog final : public AllocLog {
     ++dropped_;  // full: block goes untracked (conservative miss)
   }
 
-  void erase(const void* addr, std::size_t /*size*/) override {
+  void erase(const void* addr, std::size_t /*size*/) {
     const auto begin = reinterpret_cast<std::uintptr_t>(addr);
     for (auto& r : ranges_) {
       if (r.begin == begin && r.end != 0) {
@@ -43,7 +47,7 @@ class ArrayAllocLog final : public AllocLog {
     }
   }
 
-  bool contains(const void* addr, std::size_t size) const override {
+  bool contains(const void* addr, std::size_t size) const {
     const auto a = reinterpret_cast<std::uintptr_t>(addr);
     for (const auto& r : ranges_) {
       if (a >= r.begin && a + size <= r.end) return true;
@@ -51,13 +55,13 @@ class ArrayAllocLog final : public AllocLog {
     return false;
   }
 
-  void clear() override {
+  void clear() {
     for (auto& r : ranges_) r.begin = r.end = 0;
     count_ = 0;
   }
 
-  std::size_t entries() const override { return count_; }
-  const char* name() const override { return "array"; }
+  std::size_t entries() const { return count_; }
+  const char* name() const { return "array"; }
 
   /// Cumulative number of allocations that did not fit (diagnostic).
   std::uint64_t dropped() const { return dropped_; }
@@ -73,6 +77,7 @@ class ArrayAllocLog final : public AllocLog {
   std::uint64_t dropped_ = 0;
 };
 
+static_assert(CaptureLog<ArrayAllocLog>);
 static_assert(sizeof(std::uintptr_t) == 8, "capstm assumes LP64");
 
 }  // namespace cstm

@@ -2,10 +2,6 @@
 
 namespace cstm {
 
-namespace {
-constexpr std::uintptr_t kWordMask = ~static_cast<std::uintptr_t>(7);
-}  // namespace
-
 FilterAllocLog::FilterAllocLog(std::size_t table_bits)
     : table_(std::size_t{1} << table_bits),
       shift_(static_cast<unsigned>(64 - table_bits)) {}
@@ -37,18 +33,6 @@ void FilterAllocLog::erase(const void* addr, std::size_t size) {
     if (e.word == w && e.epoch == epoch_) e.epoch = 0;
   }
   if (blocks_ > 0) --blocks_;
-}
-
-bool FilterAllocLog::contains(const void* addr, std::size_t size) const {
-  if (size == 0) return false;
-  const auto begin = reinterpret_cast<std::uintptr_t>(addr);
-  const std::uintptr_t first = begin & kWordMask;
-  const std::uintptr_t last = (begin + size - 1) & kWordMask;
-  for (std::uintptr_t w = first; w <= last; w += 8) {
-    const Entry& e = table_[slot_of(w)];
-    if (e.word != w || e.epoch != epoch_) return false;
-  }
-  return true;
 }
 
 void FilterAllocLog::clear() {

@@ -16,16 +16,16 @@
 
 namespace cstm {
 
-class TreeAllocLog final : public AllocLog {
+class TreeAllocLog {
  public:
   TreeAllocLog();
 
-  void insert(const void* addr, std::size_t size) override;
-  void erase(const void* addr, std::size_t size) override;
-  bool contains(const void* addr, std::size_t size) const override;
-  void clear() override;
-  std::size_t entries() const override { return count_; }
-  const char* name() const override { return "tree"; }
+  void insert(const void* addr, std::size_t size);
+  void erase(const void* addr, std::size_t size);
+  bool contains(const void* addr, std::size_t size) const;
+  void clear();
+  std::size_t entries() const { return count_; }
+  const char* name() const { return "tree"; }
 
   /// Height of the AVL tree (diagnostic, exercised by tests).
   int height() const;
@@ -59,5 +59,7 @@ class TreeAllocLog final : public AllocLog {
   std::int32_t root_ = kNil;
   std::size_t count_ = 0;
 };
+
+static_assert(CaptureLog<TreeAllocLog>);
 
 }  // namespace cstm

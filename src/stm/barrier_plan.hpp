@@ -1,0 +1,108 @@
+// Barrier plans: the TxConfig compiled ONCE at transaction begin into a
+// per-descriptor dispatch slot, so the barriers pay zero config branches
+// and zero indirect calls per access.
+//
+// Before this existed, every tm_read/tm_write evaluated up to six cfg
+// booleans, a switch over cfg.alloc_log, and an indirect membership call —
+// per access, against a configuration that cannot change inside a
+// transaction. The plan hoists all of that to begin_top: each barrier
+// direction (read, write) is mapped to one of a small set of specialized
+// fast paths (template instantiations in stm/barriers.hpp), and the
+// allocator hooks are told which concrete log to feed. The paper's named
+// configurations all land on a specialized path; arbitrary hand-rolled
+// flag combinations still work through the kGeneric fallback, which keeps
+// the old per-access branching semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/config.hpp"
+
+namespace cstm {
+
+/// Which membership structure the transaction's allocator hooks feed
+/// (tx_malloc/tx_free insert/erase, nested-abort replay, end-of-tx reset).
+/// kNone means no log is maintained at all — the satellite fix for paying
+/// three log resets per transaction regardless of config.
+enum class ActiveLog : std::uint8_t { kNone = 0, kTree, kArray, kFilter };
+
+/// The specialized fast path one barrier direction dispatches to. The
+/// Stack/Heap/Priv names spell out exactly which capture checks run, in
+/// that order (the paper's Figure 2 ordering: cheapest first).
+enum class BarrierPath : std::uint8_t {
+  kFull = 0,            // no capture checks: straight to the full barrier
+  kStatic,              // compiler elision only (Site::static_captured)
+  kStackHeapPrivTree,   // runtime_rw / runtime_w presets
+  kStackHeapPrivArray,
+  kStackHeapPrivFilter,
+  kHeapTree,            // runtime_heap_w presets
+  kHeapArray,
+  kHeapFilter,
+  kCounting,            // Fig. 8: classify precisely, then full barrier
+  kGeneric,             // any other flag combination: per-access cfg checks
+};
+
+struct BarrierPlan {
+  BarrierPath read = BarrierPath::kFull;
+  BarrierPath write = BarrierPath::kFull;
+  ActiveLog log = ActiveLog::kNone;
+
+  /// Resolves a TxConfig into its plan. Constexpr so preset→path mappings
+  /// can be checked at compile time (see tests/test_stm_basic.cpp).
+  static constexpr BarrierPlan compile(const TxConfig& cfg) {
+    BarrierPlan p;
+    p.log = cfg.count_mode ? ActiveLog::kTree  // precise classification
+            : (cfg.heap_read || cfg.heap_write) ? to_active(cfg.alloc_log)
+                                                : ActiveLog::kNone;
+    if (cfg.count_mode) {
+      // The counting preset runs no elision; counting combined with other
+      // optimizations is a measurement nobody defined — generic handles it.
+      const bool pure = !cfg.static_elision && !cfg.any_read_check() &&
+                        !cfg.any_write_check();
+      p.read = p.write = pure ? BarrierPath::kCounting : BarrierPath::kGeneric;
+      return p;
+    }
+    if (cfg.static_elision) {
+      if (cfg.any_read_check() || cfg.any_write_check()) {
+        p.read = p.write = BarrierPath::kGeneric;
+      } else {
+        p.read = p.write = BarrierPath::kStatic;
+      }
+      return p;
+    }
+    p.read =
+        direction(cfg.stack_read, cfg.heap_read, cfg.private_read, cfg.alloc_log);
+    p.write = direction(cfg.stack_write, cfg.heap_write, cfg.private_write,
+                        cfg.alloc_log);
+    return p;
+  }
+
+ private:
+  static constexpr ActiveLog to_active(AllocLogKind k) {
+    switch (k) {
+      case AllocLogKind::kTree: return ActiveLog::kTree;
+      case AllocLogKind::kArray: return ActiveLog::kArray;
+      case AllocLogKind::kFilter: return ActiveLog::kFilter;
+    }
+    return ActiveLog::kTree;
+  }
+
+  // BarrierPath lays the ×{tree,array,filter} families out contiguously in
+  // AllocLogKind order, so selecting the member is an add, not a switch.
+  static constexpr BarrierPath with_log(BarrierPath tree_member,
+                                        AllocLogKind k) {
+    return static_cast<BarrierPath>(static_cast<int>(tree_member) +
+                                    static_cast<int>(k));
+  }
+
+  static constexpr BarrierPath direction(bool stack, bool heap, bool priv,
+                                         AllocLogKind k) {
+    if (!stack && !heap && !priv) return BarrierPath::kFull;
+    if (stack && heap && priv)
+      return with_log(BarrierPath::kStackHeapPrivTree, k);
+    if (!stack && heap && !priv) return with_log(BarrierPath::kHeapTree, k);
+    return BarrierPath::kGeneric;
+  }
+};
+
+}  // namespace cstm

@@ -6,8 +6,16 @@
 //    transaction timestamp, extending the timestamp on demand.
 //  * write: acquire the orec by CAS, record the pre-image in the undo log,
 //    store in place.
+//
 // Capture fast paths come first: a barrier on captured memory degenerates
-// to a plain CPU access plus a counter increment.
+// to a plain CPU access plus a counter increment. Which fast path runs is
+// decided ONCE per transaction: begin_top compiles the TxConfig into a
+// BarrierPlan (stm/barrier_plan.hpp), and each barrier dispatches on the
+// plan's per-direction slot to a fully specialized path — zero config
+// branches, zero indirect calls, membership state read straight from the
+// packed CaptureFrame in the descriptor. Arbitrary hand-rolled configs that
+// match no specialized path fall back to kGeneric, which re-derives the
+// checks from cfg per access (the pre-plan behavior).
 #pragma once
 
 #include <atomic>
@@ -38,7 +46,7 @@ void store_relaxed(T* p, T v) {
 }
 
 template <TmValue T>
-T full_tm_read(Tx& tx, const T* addr) {
+[[gnu::noinline]] T full_tm_read(Tx& tx, const T* addr) {
   auto& rec = orec_table().slot(addr);
   for (;;) {
     const std::uint64_t v1 = rec.load(std::memory_order_acquire);
@@ -60,7 +68,7 @@ T full_tm_read(Tx& tx, const T* addr) {
 }
 
 template <TmValue T>
-void full_tm_write(Tx& tx, T* addr, T value) {
+[[gnu::noinline]] void full_tm_write(Tx& tx, T* addr, T value) {
   auto& rec = orec_table().slot(addr);
   for (;;) {
     std::uint64_t v = rec.load(std::memory_order_acquire);
@@ -111,16 +119,115 @@ inline void classify_access(Tx& tx, const void* addr, std::size_t n,
   }
 }
 
-}  // namespace detail
+// ---------------------------------------------------------------------------
+// Specialized plan paths
+// ---------------------------------------------------------------------------
+// One instantiation per BarrierPath family member. The spec is a structural
+// NTTP, so every `if constexpr` below folds away and each path compiles to
+// exactly its checks, in Figure 2's cheapest-first order, with membership
+// read straight off tx.frame.
 
-/// Transactional read of *addr. Outside a transaction this is a plain load,
-/// which lets the same code run for sequential setup and verification.
+struct PathSpec {
+  bool stack = false;
+  bool heap = false;
+  AllocLogKind log = AllocLogKind::kTree;  // meaningful only when heap
+  bool priv = false;
+};
+
+inline constexpr PathSpec kPathSHPTree{true, true, AllocLogKind::kTree, true};
+inline constexpr PathSpec kPathSHPArray{true, true, AllocLogKind::kArray, true};
+inline constexpr PathSpec kPathSHPFilter{true, true, AllocLogKind::kFilter,
+                                         true};
+inline constexpr PathSpec kPathHeapTree{false, true, AllocLogKind::kTree,
+                                        false};
+inline constexpr PathSpec kPathHeapArray{false, true, AllocLogKind::kArray,
+                                         false};
+inline constexpr PathSpec kPathHeapFilter{false, true, AllocLogKind::kFilter,
+                                          false};
+
+template <PathSpec P>
+[[gnu::always_inline]] inline bool heap_hit(const CaptureFrame& f,
+                                            const void* addr, std::size_t n) {
+  if constexpr (P.log == AllocLogKind::kArray) {
+    return f.array_contains(addr, n);
+  } else if constexpr (P.log == AllocLogKind::kFilter) {
+    return f.filter_contains(addr, n);
+  } else {
+    return f.tree_contains(addr, n);
+  }
+}
+
+/// Store to memory classified captured. Captured writes in a *nested*
+/// transaction still need a pre-image so a partial abort can restore memory
+/// live-in to the child (Section 2.2.1); at nesting depth 1 the memory dies
+/// on abort.
 template <TmValue T>
-T tm_read(Tx& tx, const T* addr, const Site& site = kSharedSite) {
-  if (!tx.in_tx()) return *addr;
-  ++tx.stats.reads;
+[[gnu::always_inline]] inline void captured_store(Tx& tx, T* addr, T value) {
+  if (tx.depth > 1 && tx.frame.nested_undo) [[unlikely]] {
+    tx.undo.record(addr, sizeof(T));
+  }
+  store_relaxed(addr, value);
+}
+
+template <PathSpec P, TmValue T>
+[[gnu::always_inline]] inline T plan_read(Tx& tx, const T* addr) {
+  if constexpr (P.stack) {
+    if (tx.frame.on_tx_stack(addr, sizeof(T))) {
+      ++tx.stats.read_elided_stack;
+      return *addr;
+    }
+  }
+  if constexpr (P.heap) {
+    if (heap_hit<P>(tx.frame, addr, sizeof(T))) {
+      ++tx.stats.read_elided_heap;
+      return *addr;
+    }
+  }
+  if constexpr (P.priv) {
+    if (tx.frame.priv_contains(addr, sizeof(T))) {
+      ++tx.stats.read_elided_private;
+      return *addr;
+    }
+  }
+  return full_tm_read(tx, addr);
+}
+
+template <PathSpec P, TmValue T>
+[[gnu::always_inline]] inline void plan_write(Tx& tx, T* addr, T value) {
+  if constexpr (P.stack) {
+    if (tx.frame.on_tx_stack(addr, sizeof(T))) {
+      ++tx.stats.write_elided_stack;
+      captured_store(tx, addr, value);
+      return;
+    }
+  }
+  if constexpr (P.heap) {
+    if (heap_hit<P>(tx.frame, addr, sizeof(T))) {
+      ++tx.stats.write_elided_heap;
+      captured_store(tx, addr, value);
+      return;
+    }
+  }
+  if constexpr (P.priv) {
+    if (tx.frame.priv_contains(addr, sizeof(T))) {
+      ++tx.stats.write_elided_private;
+      captured_store(tx, addr, value);
+      return;
+    }
+  }
+  full_tm_write(tx, addr, value);
+}
+
+// ---------------------------------------------------------------------------
+// Generic fallback (BarrierPath::kGeneric)
+// ---------------------------------------------------------------------------
+// Re-derives every check from cfg per access — the pre-plan behavior, kept
+// for flag combinations no specialized path covers.
+
+template <TmValue T>
+[[gnu::noinline]] T generic_tm_read(Tx& tx, const T* addr, const Site& site) {
   if (tx.cfg.count_mode) [[unlikely]] {
-    detail::classify_access(tx, addr, sizeof(T), site, /*is_write=*/false);
+    classify_access(tx, addr, sizeof(T), site, /*is_write=*/false);
   }
   if (tx.cfg.static_elision && site.static_captured) {
     ++tx.stats.read_elided_static;
@@ -134,20 +241,13 @@ T tm_read(Tx& tx, const T* addr, const Site& site = kSharedSite) {
       case CaptureKind::kNone: break;
     }
   }
-  return detail::full_tm_read(tx, addr);
+  return full_tm_read(tx, addr);
 }
 
-/// Transactional write of @p value to *addr. Outside a transaction this is a
-/// plain store.
 template <TmValue T>
-void tm_write(Tx& tx, T* addr, T value, const Site& site = kSharedSite) {
-  if (!tx.in_tx()) {
-    *addr = value;
-    return;
-  }
-  ++tx.stats.writes;
+[[gnu::noinline]] void generic_tm_write(Tx& tx, T* addr, T value, const Site& site) {
   if (tx.cfg.count_mode) [[unlikely]] {
-    detail::classify_access(tx, addr, sizeof(T), site, /*is_write=*/true);
+    classify_access(tx, addr, sizeof(T), site, /*is_write=*/true);
   }
   if (tx.cfg.static_elision && site.static_captured) {
     ++tx.stats.write_elided_static;
@@ -157,21 +257,101 @@ void tm_write(Tx& tx, T* addr, T value, const Site& site = kSharedSite) {
   if (tx.cfg.any_write_check()) {
     const CaptureKind k = tx.runtime_captured(addr, sizeof(T), /*is_write=*/true);
     if (k != CaptureKind::kNone) {
-      // Captured writes in a *nested* transaction still need a pre-image so
-      // a partial abort can restore memory live-in to the child
-      // (Section 2.2.1); at nesting depth 1 the memory dies on abort.
-      if (tx.depth > 1 && tx.cfg.nested_undo_for_captured) {
-        tx.undo.record(addr, sizeof(T));
-      }
       switch (k) {
         case CaptureKind::kStack: ++tx.stats.write_elided_stack; break;
         case CaptureKind::kHeap: ++tx.stats.write_elided_heap; break;
         case CaptureKind::kPrivate: ++tx.stats.write_elided_private; break;
         case CaptureKind::kNone: break;
       }
-      detail::store_relaxed(addr, value);
+      captured_store(tx, addr, value);
       return;
     }
+  }
+  full_tm_write(tx, addr, value);
+}
+
+}  // namespace detail
+
+/// Transactional read of *addr. Outside a transaction this is a plain load,
+/// which lets the same code run for sequential setup and verification.
+///
+/// Force-inlined: with the full barrier and the generic fallback outlined,
+/// what remains is the plan dispatch plus the capture checks — exactly the
+/// code that must sit in the caller's loop for an elided access to cost a
+/// couple of instructions (the seed inlined its smaller, branchier
+/// equivalent; without the attribute GCC balks at the switch's size).
+template <TmValue T>
+[[gnu::always_inline]] inline T tm_read(Tx& tx, const T* addr,
+                                        const Site& site = kSharedSite) {
+  if (!tx.in_tx()) return *addr;
+  ++tx.stats.reads;
+  switch (tx.plan.read) {
+    case BarrierPath::kFull:
+      break;
+    case BarrierPath::kStatic:
+      if (site.static_captured) {
+        ++tx.stats.read_elided_static;
+        return *addr;
+      }
+      break;
+    case BarrierPath::kStackHeapPrivTree:
+      return detail::plan_read<detail::kPathSHPTree>(tx, addr);
+    case BarrierPath::kStackHeapPrivArray:
+      return detail::plan_read<detail::kPathSHPArray>(tx, addr);
+    case BarrierPath::kStackHeapPrivFilter:
+      return detail::plan_read<detail::kPathSHPFilter>(tx, addr);
+    case BarrierPath::kHeapTree:
+      return detail::plan_read<detail::kPathHeapTree>(tx, addr);
+    case BarrierPath::kHeapArray:
+      return detail::plan_read<detail::kPathHeapArray>(tx, addr);
+    case BarrierPath::kHeapFilter:
+      return detail::plan_read<detail::kPathHeapFilter>(tx, addr);
+    case BarrierPath::kCounting:
+      detail::classify_access(tx, addr, sizeof(T), site, /*is_write=*/false);
+      break;
+    case BarrierPath::kGeneric:
+      return detail::generic_tm_read(tx, addr, site);
+  }
+  return detail::full_tm_read(tx, addr);
+}
+
+/// Transactional write of @p value to *addr. Outside a transaction this is a
+/// plain store. Force-inlined for the same reason as tm_read.
+template <TmValue T>
+[[gnu::always_inline]] inline void tm_write(Tx& tx, T* addr, T value,
+                                            const Site& site = kSharedSite) {
+  if (!tx.in_tx()) {
+    *addr = value;
+    return;
+  }
+  ++tx.stats.writes;
+  switch (tx.plan.write) {
+    case BarrierPath::kFull:
+      break;
+    case BarrierPath::kStatic:
+      if (site.static_captured) {
+        ++tx.stats.write_elided_static;
+        *addr = value;
+        return;
+      }
+      break;
+    case BarrierPath::kStackHeapPrivTree:
+      return detail::plan_write<detail::kPathSHPTree>(tx, addr, value);
+    case BarrierPath::kStackHeapPrivArray:
+      return detail::plan_write<detail::kPathSHPArray>(tx, addr, value);
+    case BarrierPath::kStackHeapPrivFilter:
+      return detail::plan_write<detail::kPathSHPFilter>(tx, addr, value);
+    case BarrierPath::kHeapTree:
+      return detail::plan_write<detail::kPathHeapTree>(tx, addr, value);
+    case BarrierPath::kHeapArray:
+      return detail::plan_write<detail::kPathHeapArray>(tx, addr, value);
+    case BarrierPath::kHeapFilter:
+      return detail::plan_write<detail::kPathHeapFilter>(tx, addr, value);
+    case BarrierPath::kCounting:
+      detail::classify_access(tx, addr, sizeof(T), site, /*is_write=*/true);
+      break;
+    case BarrierPath::kGeneric:
+      return detail::generic_tm_write(tx, addr, value, site);
   }
   detail::full_tm_write(tx, addr, value);
 }

@@ -42,19 +42,17 @@ struct TxConfig {
   AllocLogKind alloc_log = AllocLogKind::kTree;
   ContentionPolicy contention = ContentionPolicy::kBackoff;
 
-  bool any_read_check() const { return stack_read || heap_read || private_read; }
-  bool any_write_check() const {
+  constexpr bool any_read_check() const { return stack_read || heap_read || private_read; }
+  constexpr bool any_write_check() const {
     return stack_write || heap_write || private_write;
   }
-  bool heap_log_needed() const { return heap_read || heap_write || count_mode; }
-
   // -- Presets matching the paper's measured configurations -----------------
 
   /// No optimization applied.
-  static TxConfig baseline() { return TxConfig{}; }
+  static constexpr TxConfig baseline() { return TxConfig{}; }
 
   /// Runtime checks for tx-local stack and heap in read AND write barriers.
-  static TxConfig runtime_rw(AllocLogKind k = AllocLogKind::kTree) {
+  static constexpr TxConfig runtime_rw(AllocLogKind k = AllocLogKind::kTree) {
     TxConfig c;
     c.stack_read = c.stack_write = c.heap_read = c.heap_write = true;
     c.private_read = c.private_write = true;
@@ -63,7 +61,7 @@ struct TxConfig {
   }
 
   /// Runtime checks for tx-local stack and heap in write barriers only.
-  static TxConfig runtime_w(AllocLogKind k = AllocLogKind::kTree) {
+  static constexpr TxConfig runtime_w(AllocLogKind k = AllocLogKind::kTree) {
     TxConfig c;
     c.stack_write = c.heap_write = true;
     c.private_write = true;
@@ -73,7 +71,7 @@ struct TxConfig {
 
   /// Runtime checks for tx-local heap only, write barriers only (the
   /// configuration of Figure 11(b)).
-  static TxConfig runtime_heap_w(AllocLogKind k = AllocLogKind::kTree) {
+  static constexpr TxConfig runtime_heap_w(AllocLogKind k = AllocLogKind::kTree) {
     TxConfig c;
     c.heap_write = true;
     c.alloc_log = k;
@@ -81,14 +79,14 @@ struct TxConfig {
   }
 
   /// Compiler capture analysis: statically elided barriers, no runtime cost.
-  static TxConfig compiler() {
+  static constexpr TxConfig compiler() {
     TxConfig c;
     c.static_elision = true;
     return c;
   }
 
   /// Fig. 8 barrier-breakdown measurement.
-  static TxConfig counting() {
+  static constexpr TxConfig counting() {
     TxConfig c;
     c.count_mode = true;
     c.alloc_log = AllocLogKind::kTree;  // precise classification

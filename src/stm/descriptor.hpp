@@ -1,17 +1,18 @@
 // Transaction descriptor: all per-thread transaction state, including the
-// capture-analysis machinery (transaction-local stack bounds, allocation
-// logs, private-region registry pointer).
+// capture-analysis machinery (the packed capture frame with stack bounds and
+// membership views, the lazily constructed allocation logs, and the barrier
+// plan resolved from the config at transaction begin).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "capture/array_log.hpp"
-#include "capture/filter_log.hpp"
+#include "capture/capture_frame.hpp"
 #include "capture/private_registry.hpp"
-#include "capture/tree_log.hpp"
 #include "stm/alloc_ctx.hpp"
+#include "stm/barrier_plan.hpp"
 #include "stm/config.hpp"
 #include "stm/gclock.hpp"
 #include "stm/logs.hpp"
@@ -40,9 +41,14 @@ class Tx {
 
   // -- Hot state -------------------------------------------------------------
   TxConfig cfg;
+  /// cfg compiled into specialized barrier paths at begin_top; the barriers
+  /// dispatch on this, never on cfg.
+  BarrierPlan plan;
+  /// Packed capture state the fast paths read: stack bound, log views,
+  /// inline array log (capture/capture_frame.hpp).
+  CaptureFrame frame;
   std::uint64_t start_ts = 0;
-  const void* stack_begin = nullptr;  // stack top at outermost begin (Fig. 3)
-  std::uintptr_t stack_low = 0;       // low bound of this thread's stack
+  std::uintptr_t stack_low = 0;  // low bound of this thread's stack
   unsigned depth = 0;
   unsigned consecutive_aborts = 0;
 
@@ -75,19 +81,57 @@ class Tx {
   std::vector<LevelMark> levels;
 
   // -- Capture machinery -----------------------------------------------------
-  TreeAllocLog tree_log;
-  ArrayAllocLog array_log;
-  FilterAllocLog filter_log;
-  PrivateRegistry* priv = nullptr;
+  // Only the configured log exists: tree and filter (which own heap-backed
+  // tables) are constructed on first use and kept for the thread's
+  // lifetime; the array log is 1.5 cache lines living inline in the frame.
 
-  AllocLog& active_alloc_log() {
-    if (cfg.count_mode) return tree_log;  // precise classification
-    switch (cfg.alloc_log) {
-      case AllocLogKind::kArray: return array_log;
-      case AllocLogKind::kFilter: return filter_log;
-      case AllocLogKind::kTree: break;
+  TreeAllocLog& tree_log() {
+    if (!tree_log_) {
+      tree_log_ = std::make_unique<TreeAllocLog>();
+      frame.tree = tree_log_.get();
     }
-    return tree_log;
+    return *tree_log_;
+  }
+  FilterAllocLog& filter_log() {
+    if (!filter_log_) {
+      filter_log_ = std::make_unique<FilterAllocLog>();
+      frame.filter_table = filter_log_->table_data();
+      frame.filter_shift = filter_log_->shift();
+      frame.filter_epoch = filter_log_->epoch();
+    }
+    return *filter_log_;
+  }
+
+  /// The one place that routes to the plan-selected log (a kNone plan
+  /// maintains no log and never invokes @p fn). Mutating call sites —
+  /// allocator hooks, nested-abort replay, end-of-tx reset — all go
+  /// through here; the read-side membership dispatch lives in the barrier
+  /// plan paths and alloc_log_contains below, which read the frame's
+  /// cached views instead of the (lazily constructed) log objects.
+  template <typename Fn>
+  void with_active_log(Fn&& fn) {
+    switch (plan.log) {
+      case ActiveLog::kNone: break;
+      case ActiveLog::kTree: fn(tree_log()); break;
+      case ActiveLog::kArray: fn(frame.array); break;
+      case ActiveLog::kFilter: fn(filter_log()); break;
+    }
+  }
+
+  void alloc_log_insert(const void* p, std::size_t n) {
+    with_active_log([&](auto& log) { log.insert(p, n); });
+  }
+  void alloc_log_erase(const void* p, std::size_t n) {
+    with_active_log([&](auto& log) { log.erase(p, n); });
+  }
+  bool alloc_log_contains(const void* p, std::size_t n) const {
+    switch (plan.log) {
+      case ActiveLog::kNone: return false;
+      case ActiveLog::kTree: return frame.tree_contains(p, n);
+      case ActiveLog::kArray: return frame.array_contains(p, n);
+      case ActiveLog::kFilter: return frame.filter_contains(p, n);
+    }
+    return false;
   }
 
   bool in_tx() const { return depth > 0; }
@@ -113,37 +157,31 @@ class Tx {
   void pause_backoff() { backoff_.pause(consecutive_aborts); }
 
   // -- Runtime capture analysis (Section 3.1) --------------------------------
+  // The specialized plan paths in stm/barriers.hpp read the frame directly;
+  // these two remain for the kGeneric fallback and count mode.
 
   /// Returns how [addr, addr+n) is captured, honoring the per-config check
   /// switches for the given access direction.
   CaptureKind runtime_captured(const void* addr, std::size_t n, bool is_write) {
     if (is_write ? cfg.stack_write : cfg.stack_read) {
-      if (on_tx_stack(addr, n)) return CaptureKind::kStack;
+      if (frame.on_tx_stack(addr, n)) return CaptureKind::kStack;
     }
     if (is_write ? cfg.heap_write : cfg.heap_read) {
-      if (active_alloc_log().contains(addr, n)) return CaptureKind::kHeap;
+      if (alloc_log_contains(addr, n)) return CaptureKind::kHeap;
     }
     if (is_write ? cfg.private_write : cfg.private_read) {
-      if (priv != nullptr && priv->contains(addr, n)) return CaptureKind::kPrivate;
+      if (frame.priv != nullptr && frame.priv->contains(addr, n)) {
+        return CaptureKind::kPrivate;
+      }
     }
     return CaptureKind::kNone;
   }
 
   /// Precise classification for count mode (Fig. 8): heap first, then stack.
   CaptureKind classify(const void* addr, std::size_t n) {
-    if (tree_log.contains(addr, n)) return CaptureKind::kHeap;
-    if (on_tx_stack(addr, n)) return CaptureKind::kStack;
+    if (tree_log().contains(addr, n)) return CaptureKind::kHeap;
+    if (frame.on_tx_stack(addr, n)) return CaptureKind::kStack;
     return CaptureKind::kNone;
-  }
-
-  /// The single range check of Figure 4: the transaction-local stack is the
-  /// region between the current stack pointer and the stack pointer at
-  /// transaction begin (stack grows downwards on x86-64).
-  bool on_tx_stack(const void* addr, std::size_t n) const {
-    char probe;  // approximates the current stack pointer
-    const auto a = reinterpret_cast<std::uintptr_t>(addr);
-    return a >= reinterpret_cast<std::uintptr_t>(&probe) &&
-           a + n <= reinterpret_cast<std::uintptr_t>(stack_begin);
   }
 
   bool owns(std::uint64_t word) const {
@@ -152,6 +190,8 @@ class Tx {
 
  private:
   void reset_logs();
+  std::unique_ptr<TreeAllocLog> tree_log_;
+  std::unique_ptr<FilterAllocLog> filter_log_;
   ExponentialBackoff backoff_;
 };
 

@@ -194,7 +194,10 @@ void Tx::reset_logs() {
   levels.clear();
   freed_events.clear();
   alloc.clear();
-  if (cfg.heap_log_needed()) active_alloc_log().clear();
+  // Only the plan's log is maintained, so only it needs a reset; tree_log()
+  // and filter_log() construct the structure on the first transaction that
+  // actually selects it.
+  with_active_log([](auto& log) { log.clear(); });
 }
 
 namespace {
@@ -202,19 +205,27 @@ thread_local std::uint64_t tls_cfg_epoch = 0;
 }
 
 void Tx::begin_top(const void* sp) {
-  // Pick up configuration changes made between runs.
+  // Pick up configuration changes made between runs, and compile them into
+  // this descriptor's barrier plan: every per-access config decision the
+  // barriers used to make is resolved here, once.
   const std::uint64_t epoch = g_config_epoch.load(std::memory_order_acquire);
   if (epoch != tls_cfg_epoch) {
     cfg = global_config();
     tls_cfg_epoch = epoch;
+    plan = BarrierPlan::compile(cfg);
+    frame.nested_undo = cfg.nested_undo_for_captured;
   }
   flush_quarantine(/*force=*/false);
   start_ts = global_clock().load();
   active_since.store(start_ts, std::memory_order_release);
-  stack_begin = sp;
+  frame.stack_begin = reinterpret_cast<std::uintptr_t>(sp);
   depth = 1;
-  priv = &thread_private_registry();
+  frame.priv = &thread_private_registry();
   reset_logs();
+  if (plan.log == ActiveLog::kFilter) {
+    // The filter's O(1) clear is an epoch bump; re-cache the frame's view.
+    frame.filter_epoch = filter_log().epoch();
+  }
 }
 
 void Tx::begin_nested(const void* sp) {
@@ -273,7 +284,7 @@ void Tx::abort_self() {
   // straddle our whole lock/dirty-write/rollback/release cycle accept a
   // dirty value (ABA on the version word). The bump forces revalidation —
   // occasionally spurious, never unsafe.
-  undo.rollback(0, stack_low, reinterpret_cast<std::uintptr_t>(stack_begin));
+  undo.rollback(0, stack_low, frame.stack_begin);
   if (!ws.empty()) {
     const std::uint64_t av = orec::make_version(global_clock().advance());
     for (std::size_t i = ws.size(); i-- > 0;) {
@@ -293,7 +304,7 @@ void Tx::abort_self() {
 }
 
 void Tx::cancel() {
-  undo.rollback(0, stack_low, reinterpret_cast<std::uintptr_t>(stack_begin));
+  undo.rollback(0, stack_low, frame.stack_begin);
   if (!ws.empty()) {
     const std::uint64_t av = orec::make_version(global_clock().advance());
     for (std::size_t i = ws.size(); i-- > 0;) {
@@ -330,19 +341,14 @@ void Tx::abort_nested() {
     const std::size_t idx = freed_events[i];
     if (idx < m.allocs) {
       alloc.allocs[idx].freed_in_tx = false;
-      if (cfg.heap_log_needed()) {
-        active_alloc_log().insert(alloc.allocs[idx].ptr,
-                                  alloc.allocs[idx].size);
-      }
+      alloc_log_insert(alloc.allocs[idx].ptr, alloc.allocs[idx].size);
     }
   }
   freed_events.resize(m.freed_events);
   // Undo allocations performed in the aborted level.
   for (std::size_t i = alloc.allocs.size(); i-- > m.allocs;) {
     const AllocRecord& r = alloc.allocs[i];
-    if (!r.freed_in_tx && cfg.heap_log_needed()) {
-      active_alloc_log().erase(r.ptr, r.size);
-    }
+    if (!r.freed_in_tx) alloc_log_erase(r.ptr, r.size);
     Pool::deallocate(r.ptr);
   }
   alloc.allocs.resize(m.allocs);

@@ -117,15 +117,23 @@ void Pool::drain_remote() {
   }
 }
 
+// The freelist link occupies the block's first word. A *reader* zombie —
+// a doomed transaction that started after the block's free committed — may
+// still issue its (relaxed-atomic, validation-doomed) load of that word
+// concurrently with these link stores: quarantine only guarantees no zombie
+// WRITER remains, because only writes can corrupt allocator metadata.
+// Relaxed atomic link stores keep that benign-by-design race well-defined
+// (same x86-64 codegen as plain moves), matching the repo-wide TSan rule.
+
 void Pool::free_local(void* p, std::uint32_t cls) {
-  *static_cast<void**>(p) = freelists_[cls];
+  __atomic_store_n(static_cast<void**>(p), freelists_[cls], __ATOMIC_RELAXED);
   freelists_[cls] = p;
 }
 
 void Pool::push_remote(void* p) {
   void* head = remote_.load(std::memory_order_relaxed);
   do {
-    *static_cast<void**>(p) = head;
+    __atomic_store_n(static_cast<void**>(p), head, __ATOMIC_RELAXED);
   } while (!remote_.compare_exchange_weak(head, p, std::memory_order_release,
                                           std::memory_order_relaxed));
 }

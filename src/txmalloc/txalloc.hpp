@@ -23,7 +23,7 @@ inline void* tx_malloc(Tx& tx, std::size_t n) {
   if (tx.in_tx()) {
     ++tx.stats.tx_allocs;
     tx.alloc.allocs.push_back(AllocRecord{p, usable, false});
-    if (tx.cfg.heap_log_needed()) tx.active_alloc_log().insert(p, usable);
+    tx.alloc_log_insert(p, usable);  // no-op when the plan keeps no log
   }
   return p;
 }
@@ -43,9 +43,7 @@ inline void tx_free(Tx& tx, void* p) {
     if (allocs[i].ptr == p && !allocs[i].freed_in_tx) {
       allocs[i].freed_in_tx = true;
       tx.freed_events.push_back(i);  // replayed backwards on partial abort
-      if (tx.cfg.heap_log_needed()) {
-        tx.active_alloc_log().erase(p, allocs[i].size);
-      }
+      tx.alloc_log_erase(p, allocs[i].size);
       return;
     }
   }

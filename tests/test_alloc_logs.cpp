@@ -23,11 +23,48 @@
 namespace cstm {
 namespace {
 
-std::unique_ptr<AllocLog> make_log(AllocLogKind kind) {
+// The production logs are concrete, vtable-free types (the barrier fast
+// path dispatches on the per-transaction plan instead). The tests keep a
+// local polymorphic adapter so one parameterized suite can still drive all
+// three implementations through a single pointer.
+class LogUnderTest {
+ public:
+  virtual ~LogUnderTest() = default;
+  virtual void insert(const void* addr, std::size_t size) = 0;
+  virtual void erase(const void* addr, std::size_t size) = 0;
+  virtual bool contains(const void* addr, std::size_t size) const = 0;
+  virtual void clear() = 0;
+  virtual std::size_t entries() const = 0;
+  virtual const char* name() const = 0;
+};
+
+template <CaptureLog L>
+class LogAdapter final : public LogUnderTest {
+ public:
+  void insert(const void* addr, std::size_t size) override {
+    log_.insert(addr, size);
+  }
+  void erase(const void* addr, std::size_t size) override {
+    log_.erase(addr, size);
+  }
+  bool contains(const void* addr, std::size_t size) const override {
+    return log_.contains(addr, size);
+  }
+  void clear() override { log_.clear(); }
+  std::size_t entries() const override { return log_.entries(); }
+  const char* name() const override { return log_.name(); }
+
+ private:
+  L log_;
+};
+
+std::unique_ptr<LogUnderTest> make_log(AllocLogKind kind) {
   switch (kind) {
-    case AllocLogKind::kTree: return std::make_unique<TreeAllocLog>();
-    case AllocLogKind::kArray: return std::make_unique<ArrayAllocLog>();
-    case AllocLogKind::kFilter: return std::make_unique<FilterAllocLog>();
+    case AllocLogKind::kTree: return std::make_unique<LogAdapter<TreeAllocLog>>();
+    case AllocLogKind::kArray:
+      return std::make_unique<LogAdapter<ArrayAllocLog>>();
+    case AllocLogKind::kFilter:
+      return std::make_unique<LogAdapter<FilterAllocLog>>();
   }
   return nullptr;
 }
@@ -40,7 +77,7 @@ void* ptr(std::uintptr_t v) { return reinterpret_cast<void*>(v); }
 
 class AllocLogAll : public ::testing::TestWithParam<AllocLogKind> {
  protected:
-  std::unique_ptr<AllocLog> log_ = make_log(GetParam());
+  std::unique_ptr<LogUnderTest> log_ = make_log(GetParam());
 };
 
 TEST_P(AllocLogAll, EmptyLogContainsNothing) {
@@ -142,6 +179,68 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, AllocLogAll,
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
+
+// Differential check of the conservativeness contract: drive the same
+// random insert/erase/clear stream through all three logs and use the tree
+// (precise over disjoint allocator blocks) as ground truth. The bounded
+// array and the colliding filter may answer false where the tree answers
+// true (missed elision — harmless), but a true where the tree says false
+// would be a false positive: the barrier would elide an access to shared
+// memory, silently breaking isolation.
+TEST(DifferentialConservativeness, ArrayAndFilterNeverExceedTree) {
+  Xoshiro256 rng(20090811);
+  TreeAllocLog tree;
+  ArrayAllocLog array;
+  FilterAllocLog filter(6);  // 64 slots: collisions guaranteed
+  std::set<std::uintptr_t> bases;
+  std::vector<std::pair<std::uintptr_t, std::size_t>> live;
+  std::uint64_t queries = 0;
+  for (int round = 0; round < 30000; ++round) {
+    const int op = static_cast<int>(rng.below(100));
+    if (op < 40) {
+      // Insert a fresh disjoint block: 512-byte slots, sizes 8..256.
+      const std::uintptr_t base = 0x200000 + rng.below(1024) * 512;
+      const std::size_t size = std::size_t{8} << rng.below(6);
+      if (bases.insert(base).second) {
+        live.emplace_back(base, size);
+        tree.insert(ptr(base), size);
+        array.insert(ptr(base), size);
+        filter.insert(ptr(base), size);
+      }
+    } else if (op < 55 && !live.empty()) {
+      const std::size_t i = rng.below(live.size());
+      const auto [base, size] = live[i];
+      tree.erase(ptr(base), size);
+      array.erase(ptr(base), size);
+      filter.erase(ptr(base), size);
+      bases.erase(base);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (op < 57) {
+      tree.clear();
+      array.clear();
+      filter.clear();
+      bases.clear();
+      live.clear();
+    } else {
+      // Query a random address in the arena at varying widths, aligned and
+      // not: anything the conservative logs claim, the tree must confirm.
+      const std::uintptr_t a = 0x200000 + rng.below(1024 * 512);
+      const std::size_t n = std::size_t{1} << rng.below(5);  // 1..16 bytes
+      const bool truth = tree.contains(ptr(a), n);
+      ++queries;
+      if (array.contains(ptr(a), n)) {
+        ASSERT_TRUE(truth) << "array false positive at " << std::hex << a
+                           << " len " << n;
+      }
+      if (filter.contains(ptr(a), n)) {
+        ASSERT_TRUE(truth) << "filter false positive at " << std::hex << a
+                           << " len " << n;
+      }
+    }
+  }
+  EXPECT_GT(queries, 10000u);  // the op mix must actually exercise queries
+}
 
 // ---------------------------------------------------------------------------
 // Tree-specific: precision and balance.

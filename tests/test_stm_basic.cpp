@@ -18,6 +18,82 @@ class StmBasic : public ::testing::Test {
   }
 };
 
+// Every preset maps onto exactly the specialized barrier path its name
+// promises — checked at compile time, since BarrierPlan::compile is
+// constexpr. A preset silently landing on kGeneric would keep working but
+// lose the whole point of the plan refactor.
+namespace plan_checks {
+constexpr BarrierPlan kBaseline = BarrierPlan::compile(TxConfig::baseline());
+static_assert(kBaseline.read == BarrierPath::kFull &&
+              kBaseline.write == BarrierPath::kFull &&
+              kBaseline.log == ActiveLog::kNone);
+
+constexpr BarrierPlan kRw =
+    BarrierPlan::compile(TxConfig::runtime_rw(AllocLogKind::kArray));
+static_assert(kRw.read == BarrierPath::kStackHeapPrivArray &&
+              kRw.write == BarrierPath::kStackHeapPrivArray &&
+              kRw.log == ActiveLog::kArray);
+
+constexpr BarrierPlan kW =
+    BarrierPlan::compile(TxConfig::runtime_w(AllocLogKind::kFilter));
+static_assert(kW.read == BarrierPath::kFull &&
+              kW.write == BarrierPath::kStackHeapPrivFilter &&
+              kW.log == ActiveLog::kFilter);
+
+constexpr BarrierPlan kHeapW =
+    BarrierPlan::compile(TxConfig::runtime_heap_w(AllocLogKind::kTree));
+static_assert(kHeapW.read == BarrierPath::kFull &&
+              kHeapW.write == BarrierPath::kHeapTree &&
+              kHeapW.log == ActiveLog::kTree);
+
+constexpr BarrierPlan kCompiler = BarrierPlan::compile(TxConfig::compiler());
+static_assert(kCompiler.read == BarrierPath::kStatic &&
+              kCompiler.write == BarrierPath::kStatic &&
+              kCompiler.log == ActiveLog::kNone);
+
+constexpr BarrierPlan kCounting = BarrierPlan::compile(TxConfig::counting());
+static_assert(kCounting.read == BarrierPath::kCounting &&
+              kCounting.write == BarrierPath::kCounting &&
+              kCounting.log == ActiveLog::kTree);
+}  // namespace plan_checks
+
+TEST_F(StmBasic, OffPresetConfigFallsBackToGenericPath) {
+  // A hand-rolled combination no preset names (stack checks without heap)
+  // must land on the generic path and still elide correctly.
+  TxConfig cfg;
+  cfg.stack_write = true;
+  const BarrierPlan plan = BarrierPlan::compile(cfg);
+  EXPECT_EQ(plan.write, BarrierPath::kGeneric);
+  EXPECT_EQ(plan.read, BarrierPath::kFull);
+  EXPECT_EQ(plan.log, ActiveLog::kNone);
+
+  set_global_config(cfg);
+  std::uint64_t observed = 0;
+  atomic([&](Tx& tx) {
+    std::uint64_t local[4] = {};
+    tm_write(tx, &local[1], std::uint64_t{9});
+    observed = local[1];
+  });
+  const TxStats s = stats_snapshot();
+  EXPECT_EQ(s.write_elided_stack, 1u);
+  EXPECT_EQ(observed, 9u);
+}
+
+TEST_F(StmBasic, PlanFollowsConfigChanges) {
+  // The plan is compiled at begin_top from the installed config; switching
+  // configs between transactions must re-specialize the descriptor.
+  set_global_config(TxConfig::runtime_rw(AllocLogKind::kArray));
+  atomic([&](Tx& tx) {
+    EXPECT_EQ(tx.plan.read, BarrierPath::kStackHeapPrivArray);
+    EXPECT_EQ(tx.plan.log, ActiveLog::kArray);
+  });
+  set_global_config(TxConfig::baseline());
+  atomic([&](Tx& tx) {
+    EXPECT_EQ(tx.plan.read, BarrierPath::kFull);
+    EXPECT_EQ(tx.plan.log, ActiveLog::kNone);
+  });
+}
+
 TEST_F(StmBasic, CommitMakesWritesVisible) {
   std::uint64_t x = 1;
   atomic([&](Tx& tx) { tm_write(tx, &x, std::uint64_t{42}); });
