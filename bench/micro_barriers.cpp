@@ -181,6 +181,26 @@ void BM_Dispatch_ReadStaticElision(benchmark::State& state) {
 }
 BENCHMARK(BM_Dispatch_ReadStaticElision);
 
+// Proven-captured WRITE path: the analysis-driven elision the txir
+// pipeline emits (Site verdict kCaptured under the kStatic plan). Must
+// cost no more than the elided-stack path: one flag test, zero log
+// probes, no stack range check. Loop length matches
+// BM_WriteBarrier_ElidedStack for a direct per-access comparison.
+void BM_Dispatch_WriteProvenCaptured(benchmark::State& state) {
+  set_global_config(TxConfig::compiler());
+  for (auto _ : state) {
+    atomic([&](Tx& tx) {
+      auto* block = static_cast<std::uint64_t*>(tx_malloc(tx, 64 * 8));
+      for (std::size_t i = 0; i < 64; ++i) {
+        tm_write(tx, &block[i], i, kAutoCapturedSite);
+      }
+      tx_free(tx, block);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Dispatch_WriteProvenCaptured);
+
 // Baseline-plan dispatch overhead: a kFull plan still goes through the
 // plan switch before the full barrier; compare against BM_FullReadBarrier
 // from the pre-plan code to see the slot's cost (it should be free — the

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh run vs the committed BENCH_*.json records.
+
+Runs scripts/bench_json.sh into a temporary directory (never touching the
+committed records) and compares every cell against the committed
+BENCH_fig10.json / BENCH_fig11.json:
+
+  * baseline_seconds must agree within a x(1 +/- tolerance) ratio;
+  * per-config improvement percentages must agree within +/- tolerance
+    percentage points.
+
+Default mode is ADVISORY: violations are printed loudly but the exit code
+stays 0, because the 1-core CI box is noisy (+/-10% run to run) and a
+scheduler hiccup must not turn the whole gate red. Pass --strict to make
+violations fatal (use on quiet hardware, or when chasing a suspected
+regression).
+
+Usage: scripts/bench_gate.py [--strict] [--tolerance PCT] [--skip-run]
+  --tolerance PCT   comparison half-width, default 25 (percent / points)
+  --skip-run        compare an existing OUT_DIR (env) instead of running
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_rows(name, committed, fresh, tolerance, violations, lines):
+    committed_rows = {r["app"]: r for r in committed["rows"]}
+    fresh_rows = {r["app"]: r for r in fresh["rows"]}
+    for app, crow in committed_rows.items():
+        frow = fresh_rows.get(app)
+        if frow is None:
+            violations.append(f"{name}/{app}: missing from fresh run")
+            continue
+        cbase, fbase = crow["baseline_seconds"], frow["baseline_seconds"]
+        ratio = fbase / cbase if cbase > 0 else float("inf")
+        base_ok = 1.0 / (1.0 + tolerance / 100.0) <= ratio <= 1.0 + tolerance / 100.0
+        if not base_ok:
+            violations.append(
+                f"{name}/{app}: baseline {fbase:.4f}s vs committed "
+                f"{cbase:.4f}s (x{ratio:.2f})"
+            )
+        for cfg, cimp in crow["improvement_percent"].items():
+            fimp = frow["improvement_percent"].get(cfg)
+            if fimp is None:
+                violations.append(f"{name}/{app}/{cfg}: missing config")
+                continue
+            delta = fimp - cimp
+            if abs(delta) > tolerance:
+                violations.append(
+                    f"{name}/{app}/{cfg}: improvement {fimp:+.1f}% vs "
+                    f"committed {cimp:+.1f}% (delta {delta:+.1f} points)"
+                )
+            lines.append(
+                f"  {name:8s} {app:15s} {cfg:18s} "
+                f"{cimp:+8.1f}% -> {fimp:+8.1f}%  ({delta:+6.1f})"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero on violations")
+    ap.add_argument("--tolerance", type=float, default=25.0,
+                    help="half-width in percent/points (default 25)")
+    ap.add_argument("--skip-run", action="store_true",
+                    help="compare an existing OUT_DIR instead of running")
+    args = ap.parse_args()
+
+    committed10 = os.path.join(REPO, "BENCH_fig10.json")
+    committed11 = os.path.join(REPO, "BENCH_fig11.json")
+    for p in (committed10, committed11):
+        if not os.path.exists(p):
+            print(f"bench_gate: no committed record {p}; nothing to gate")
+            return 0
+
+    tmp_ctx = None
+    if args.skip_run:
+        out_dir = os.environ.get("OUT_DIR", ".")
+    else:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="bench_gate_")
+        out_dir = tmp_ctx.name
+        env = dict(os.environ, OUT_DIR=out_dir)
+        print(f"bench_gate: running scripts/bench_json.sh (OUT_DIR={out_dir})")
+        subprocess.run(
+            [os.path.join(REPO, "scripts", "bench_json.sh")],
+            check=True, cwd=REPO, env=env,
+        )
+
+    fresh10 = load(os.path.join(out_dir, "BENCH_fig10.json"))
+    fresh11 = load(os.path.join(out_dir, "BENCH_fig11.json"))
+    c10, c11 = load(committed10), load(committed11)
+
+    violations, lines = [], []
+    compare_rows("fig10", c10, fresh10, args.tolerance, violations, lines)
+    compare_rows("fig11a", c11["fig11a"], fresh11["fig11a"], args.tolerance,
+                 violations, lines)
+    compare_rows("fig11b", c11["fig11b"], fresh11["fig11b"], args.tolerance,
+                 violations, lines)
+
+    print("bench_gate: committed -> fresh improvement percentages:")
+    print("\n".join(lines))
+    if tmp_ctx is not None:
+        tmp_ctx.cleanup()
+
+    if violations:
+        print("!" * 64)
+        print(f"bench_gate: {len(violations)} cell(s) outside the "
+              f"+/-{args.tolerance:g} tolerance:")
+        for v in violations:
+            print(f"!!! {v}")
+        print("!" * 64)
+        if args.strict:
+            return 1
+        print("bench_gate: ADVISORY mode (1-core CI box): not failing the "
+              "build; rerun with --strict to enforce")
+        return 0
+
+    print(f"bench_gate: all cells within +/-{args.tolerance:g}; green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,11 +19,14 @@
 #   FIG11_THREADS (default 4), FIG11_SCALE (default 3.0 — larger than fig10
 #   so per-cell times rise out of the scheduler-jitter floor), FIG11_REPS
 #   (default 5).
+# OUT_DIR (default repo root) redirects the written JSONs — used by
+# scripts/bench_gate.py so a gate run never clobbers the committed records.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 scale="${1:-1.0}"
 reps="${2:-5}"
+out_dir="${OUT_DIR:-.}"
 fig11_threads="${FIG11_THREADS:-4}"
 fig11_scale="${FIG11_SCALE:-3.0}"
 fig11_reps="${FIG11_REPS:-5}"
@@ -34,8 +37,8 @@ cmake --build build -j "$jobs" --target bench_fig10_single_thread \
   bench_fig11a_scal_configs bench_fig11b_structures
 
 ./build/bench_fig10_single_thread \
-  --scale "$scale" --reps "$reps" --json BENCH_fig10.json
-echo "wrote $(pwd)/BENCH_fig10.json"
+  --scale "$scale" --reps "$reps" --json "$out_dir/BENCH_fig10.json"
+echo "wrote $out_dir/BENCH_fig10.json"
 
 tmpa=$(mktemp) && tmpb=$(mktemp)
 trap 'rm -f "$tmpa" "$tmpb"' EXIT
@@ -51,5 +54,5 @@ trap 'rm -f "$tmpa" "$tmpb"' EXIT
   echo '"fig11b":'
   cat "$tmpb"
   echo '}'
-} > BENCH_fig11.json
-echo "wrote $(pwd)/BENCH_fig11.json"
+} > "$out_dir/BENCH_fig11.json"
+echo "wrote $out_dir/BENCH_fig11.json"

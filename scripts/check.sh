@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 verify (release build + full ctest), the same test
-# suite under AddressSanitizer, the gtest suites under ThreadSanitizer, the
-# typed-API boundary grep, and (when clang-format is installed) the format
-# check. Also reachable as the `check` CMake target once a build tree is
-# configured.
+# CI gate: the tier-1 verify (release build + full ctest, which includes
+# the cross-config differential torture suite), the same test suite under
+# AddressSanitizer, the gtest suites under ThreadSanitizer, the typed-API
+# boundary grep, the per-kernel static-analysis elision table (printed in
+# every run so analysis-precision regressions are visible), the advisory
+# bench regression gate (scripts/bench_gate.py; -s makes it fatal), and
+# (when clang-format is installed) the format check. Also reachable as the
+# `check` CMake target once a build tree is configured.
 #
-# Usage: scripts/check.sh [-j N]
+# Usage: scripts/check.sh [-j N] [-s]
+#   -s  strict: bench-gate violations fail the run (quiet hardware only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
-while getopts "j:" opt; do
+strict=0
+while getopts "j:s" opt; do
   case "$opt" in
     j) jobs="$OPTARG" ;;
-    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    s) strict=1 ;;
+    *) echo "usage: $0 [-j N] [-s]" >&2; exit 2 ;;
   esac
 done
 
@@ -23,10 +29,29 @@ scripts/check_typed_api.sh
 echo "== devirtualized fast path =="
 scripts/check_devirt.sh
 
-echo "== tier-1: release build + ctest =="
+echo "== tier-1: release build + ctest (includes differential torture) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== cross-config differential torture (explicit) =="
+./build/test_differential --gtest_brief=1
+
+echo "== static capture analysis: per-kernel elision table =="
+./build/example_compiler_analysis | sed -n '/per-kernel analysis precision/,/^$/p'
+
+echo "== bench regression gate (advisory unless -s) =="
+if command -v python3 > /dev/null 2>&1; then
+  if [ "$strict" -eq 1 ]; then
+    python3 scripts/bench_gate.py --strict
+  else
+    python3 scripts/bench_gate.py
+  fi
+else
+  echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+  echo "!!! SKIP: python3 not installed — bench gate DID NOT RUN"      >&2
+  echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+fi
 
 echo "== format check =="
 if command -v clang-format > /dev/null 2>&1; then

@@ -12,7 +12,7 @@
 namespace cstm {
 
 namespace bitmap_sites {
-inline constexpr Site kWord{"bitmap.word", true, false};
+inline constexpr Site kWord{"bitmap.word", true};
 }  // namespace bitmap_sites
 
 class TxBitmap {

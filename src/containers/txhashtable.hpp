@@ -13,11 +13,11 @@
 namespace cstm {
 
 namespace hash_sites {
-inline constexpr Site kKey{"hashtable.key", true, false};
-inline constexpr Site kValue{"hashtable.value", true, false};
-inline constexpr Site kNext{"hashtable.next", true, false};
-inline constexpr Site kBucket{"hashtable.bucket", true, false};
-inline constexpr Site kSize{"hashtable.size", true, false};
+inline constexpr Site kKey{"hashtable.key", true};
+inline constexpr Site kValue{"hashtable.value", true};
+inline constexpr Site kNext{"hashtable.next", true};
+inline constexpr Site kBucket{"hashtable.bucket", true};
+inline constexpr Site kSize{"hashtable.size", true};
 }  // namespace hash_sites
 
 template <typename K, typename V, typename Hash = std::hash<K>>

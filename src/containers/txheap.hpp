@@ -11,8 +11,8 @@
 namespace cstm {
 
 namespace heap_sites {
-inline constexpr Site kData{"heap.data", true, false};
-inline constexpr Site kMeta{"heap.meta", true, false};
+inline constexpr Site kData{"heap.data", true};
+inline constexpr Site kMeta{"heap.meta", true};
 }  // namespace heap_sites
 
 template <typename T, typename Less = std::less<T>>

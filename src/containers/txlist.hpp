@@ -8,9 +8,10 @@
 //    capture analysis elides them);
 //  * link/traversal/size accessors carry manual=true Sites — STAMP's
 //    TM_SHARED_*.
-//  * iterator state is `manual=false, static_captured=true`; iterators
-//    MUST be declared inside the atomic block (as in STAMP's Figure 1(a)
-//    usage) for that flag to be sound.
+//  * iterator state is `manual=false, verdict=kStack` (proven by the
+//    iter_loop kernel in src/txir/kernels.cpp); iterators MUST be declared
+//    inside the atomic block (as in STAMP's Figure 1(a) usage) for that
+//    verdict to be sound.
 #pragma once
 
 #include <cstddef>
@@ -21,10 +22,10 @@
 namespace cstm {
 
 namespace list_sites {
-inline constexpr Site kValue{"list.value", true, false};
-inline constexpr Site kNext{"list.next", true, false};
-inline constexpr Site kSize{"list.size", true, false};
-inline constexpr Site kIter{"list.iter", false, true};
+inline constexpr Site kValue{"list.value", true};
+inline constexpr Site kNext{"list.next", true};
+inline constexpr Site kSize{"list.size", true};
+inline constexpr Site kIter{"list.iter", false, Verdict::kStack};
 }  // namespace list_sites
 
 template <typename T, typename Compare = std::less<T>>

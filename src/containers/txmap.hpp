@@ -20,12 +20,12 @@
 namespace cstm {
 
 namespace map_sites {
-inline constexpr Site kKey{"map.key", true, false};
-inline constexpr Site kValue{"map.value", true, false};
-inline constexpr Site kPrio{"map.prio", true, false};
-inline constexpr Site kChild{"map.child", true, false};
-inline constexpr Site kRoot{"map.root", true, false};
-inline constexpr Site kSize{"map.size", true, false};
+inline constexpr Site kKey{"map.key", true};
+inline constexpr Site kValue{"map.value", true};
+inline constexpr Site kPrio{"map.prio", true};
+inline constexpr Site kChild{"map.child", true};
+inline constexpr Site kRoot{"map.root", true};
+inline constexpr Site kSize{"map.size", true};
 }  // namespace map_sites
 
 template <typename K, typename V, typename Compare = std::less<K>>

@@ -11,10 +11,10 @@
 namespace cstm {
 
 namespace queue_sites {
-inline constexpr Site kValue{"queue.value", true, false};
-inline constexpr Site kNext{"queue.next", true, false};
-inline constexpr Site kLink{"queue.link", true, false};
-inline constexpr Site kSize{"queue.size", true, false};
+inline constexpr Site kValue{"queue.value", true};
+inline constexpr Site kNext{"queue.next", true};
+inline constexpr Site kLink{"queue.link", true};
+inline constexpr Site kSize{"queue.size", true};
 }  // namespace queue_sites
 
 template <typename T>

@@ -13,8 +13,8 @@
 namespace cstm {
 
 namespace vector_sites {
-inline constexpr Site kData{"vector.data", true, false};
-inline constexpr Site kMeta{"vector.meta", true, false};
+inline constexpr Site kData{"vector.data", true};
+inline constexpr Site kMeta{"vector.meta", true};
 }  // namespace vector_sites
 
 template <typename T>

@@ -8,6 +8,7 @@
 
 #include "stm/stm.hpp"
 #include "support/stats.hpp"
+#include "txir/kernels.hpp"
 
 namespace cstm::harness {
 
@@ -100,7 +101,13 @@ void print_speedup_header() {
 
 }  // namespace
 
+void analysis_stats() {
+  std::printf("# Static capture analysis precision (txir kernels, inline depth 2)\n");
+  std::printf("%s", txir::kernel_report_table().c_str());
+}
+
 void fig8_breakdown(const Options& opt) {
+  analysis_stats();
   std::printf("# Figure 8: breakdown of compiler-inserted STM barriers (1 thread)\n");
   std::printf("# categories: captured-heap / captured-stack / not-required-other / required\n");
   std::printf("%-15s %10s %8s %8s %8s %8s   %10s %8s %8s %8s %8s\n", "app",
@@ -132,6 +139,7 @@ void fig8_breakdown(const Options& opt) {
 }
 
 void fig9_removed(const Options& opt) {
+  analysis_stats();
   std::printf("# Figure 9: portion of barriers removed by each technique (1 thread)\n");
   const std::vector<std::pair<std::string, TxConfig>> techniques = {
       {"tree", TxConfig::runtime_rw(AllocLogKind::kTree)},
@@ -216,6 +224,7 @@ void speedup_table(const char* experiment, const Options& opt, int threads,
 }  // namespace
 
 void fig10_single_thread(const Options& opt) {
+  analysis_stats();
   std::printf("# Figure 10: performance improvement over baseline at 1 thread\n");
   std::printf("# positive = faster than baseline, negative = runtime-check overhead\n");
   speedup_table("fig10", opt, 1,

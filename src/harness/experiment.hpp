@@ -40,6 +40,14 @@ RunResult run_once(const std::string& app, int threads, const TxConfig& cfg,
 std::vector<std::pair<std::string, TxConfig>> table_configs();
 
 // -- Experiment printers (paper Section 4) -----------------------------------
+
+/// Static-analysis precision header: the per-kernel "sites total / proven /
+/// demoted" table from the txir pipeline (src/txir/kernels.hpp). Printed at
+/// the top of the figure-8/9/10 experiments so every elision figure carries
+/// the compiler-elision ratios it depends on, and by scripts/check.sh so
+/// analysis-precision regressions are visible in every CI run.
+void analysis_stats();
+
 void fig8_breakdown(const Options& opt);        // Figure 8 (a, b, c)
 void fig9_removed(const Options& opt);          // Figure 9 (a, b)
 void fig10_single_thread(const Options& opt);   // Figure 10

@@ -19,7 +19,7 @@
 namespace cstm::stamp {
 
 namespace genome_sites {
-inline constexpr Site kMatch{"genome.match", true, false};
+inline constexpr Site kMatch{"genome.match", true};
 }  // namespace genome_sites
 
 class GenomeApp : public App {

@@ -17,8 +17,8 @@
 namespace cstm::stamp {
 
 namespace intruder_sites {
-inline constexpr Site kFlowField{"intruder.flow.field", true, false};
-inline constexpr Site kCounter{"intruder.counter", true, false};
+inline constexpr Site kFlowField{"intruder.flow.field", true};
+inline constexpr Site kCounter{"intruder.counter", true};
 }  // namespace intruder_sites
 
 class IntruderApp : public App {

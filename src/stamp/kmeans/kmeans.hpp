@@ -20,7 +20,7 @@ namespace cstm::stamp {
 
 namespace kmeans_sites {
 // All shared-accumulator traffic: manually instrumented in original STAMP.
-inline constexpr Site kAccum{"kmeans.accum", true, false};
+inline constexpr Site kAccum{"kmeans.accum", true};
 }  // namespace kmeans_sites
 
 class KmeansApp : public App {

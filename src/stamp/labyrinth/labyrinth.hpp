@@ -16,8 +16,8 @@
 namespace cstm::stamp {
 
 namespace labyrinth_sites {
-inline constexpr Site kGrid{"labyrinth.grid", true, false};
-inline constexpr Site kCounter{"labyrinth.counter", true, false};
+inline constexpr Site kGrid{"labyrinth.grid", true};
+inline constexpr Site kCounter{"labyrinth.counter", true};
 }  // namespace labyrinth_sites
 
 class LabyrinthApp : public App {

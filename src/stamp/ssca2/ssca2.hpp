@@ -14,7 +14,7 @@
 namespace cstm::stamp {
 
 namespace ssca2_sites {
-inline constexpr Site kAdj{"ssca2.adjacency", true, false};
+inline constexpr Site kAdj{"ssca2.adjacency", true};
 }  // namespace ssca2_sites
 
 class Ssca2App : public App {

@@ -93,10 +93,10 @@ void VacationApp::task_make_reservation(Tx& tx, WorkerCtx& ctx) {
   // Address-taken locals inside the atomic block: a naive compiler
   // instruments every access to them (they escape into helper calls in the
   // original C), producing exactly the captured-stack barriers of Fig. 8.
-  // The compiler capture analysis proves them transaction-local.
-  tvar_array<std::uint64_t, 3, kAutoCapturedSite> chosen_id;
-  tvar_array<std::uint64_t, 3, kAutoCapturedSite> found;
-  tvar_array<std::uint64_t, 3, kAutoCapturedSite> best_price;
+  // The compiler capture analysis proves them transaction-local stack.
+  tvar_array<std::uint64_t, 3, kAutoStackSite> chosen_id;
+  tvar_array<std::uint64_t, 3, kAutoStackSite> found;
+  tvar_array<std::uint64_t, 3, kAutoStackSite> best_price;
   for (int k = 0; k < 3; ++k) {
     // Populate the thread-local query vector inside the transaction
     // (TMpopulateQueryVectors in Figure 1(b)).

@@ -21,8 +21,8 @@
 namespace cstm::stamp {
 
 namespace yada_sites {
-inline constexpr Site kElemField{"yada.elem.field", true, false};
-inline constexpr Site kCounter{"yada.counter", true, false};
+inline constexpr Site kElemField{"yada.elem.field", true};
+inline constexpr Site kCounter{"yada.counter", true};
 }  // namespace yada_sites
 
 class YadaApp : public App {

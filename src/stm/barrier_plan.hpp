@@ -31,7 +31,7 @@ enum class ActiveLog : std::uint8_t { kNone = 0, kTree, kArray, kFilter };
 /// that order (the paper's Figure 2 ordering: cheapest first).
 enum class BarrierPath : std::uint8_t {
   kFull = 0,            // no capture checks: straight to the full barrier
-  kStatic,              // compiler elision only (Site::static_captured)
+  kStatic,              // compiler elision only (Site::verdict)
   kStackHeapPrivTree,   // runtime_rw / runtime_w presets
   kStackHeapPrivArray,
   kStackHeapPrivFilter,

@@ -229,7 +229,7 @@ template <TmValue T>
   if (tx.cfg.count_mode) [[unlikely]] {
     classify_access(tx, addr, sizeof(T), site, /*is_write=*/false);
   }
-  if (tx.cfg.static_elision && site.static_captured) {
+  if (tx.cfg.static_elision && site.read_elidable()) {
     ++tx.stats.read_elided_static;
     return *addr;
   }
@@ -249,7 +249,7 @@ template <TmValue T>
   if (tx.cfg.count_mode) [[unlikely]] {
     classify_access(tx, addr, sizeof(T), site, /*is_write=*/true);
   }
-  if (tx.cfg.static_elision && site.static_captured) {
+  if (tx.cfg.static_elision && site.write_elidable()) {
     ++tx.stats.write_elided_static;
     *addr = value;
     return;
@@ -289,7 +289,7 @@ template <TmValue T>
     case BarrierPath::kFull:
       break;
     case BarrierPath::kStatic:
-      if (site.static_captured) {
+      if (site.read_elidable()) {
         ++tx.stats.read_elided_static;
         return *addr;
       }
@@ -329,7 +329,7 @@ template <TmValue T>
     case BarrierPath::kFull:
       break;
     case BarrierPath::kStatic:
-      if (site.static_captured) {
+      if (site.write_elidable()) {
         ++tx.stats.write_elided_static;
         *addr = value;
         return;

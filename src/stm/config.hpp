@@ -28,7 +28,7 @@ struct TxConfig {
   bool private_read = false;
   bool private_write = false;
 
-  // Compiler capture analysis (Section 3.2): honor Site::static_captured.
+  // Compiler capture analysis (Section 3.2): honor Site::verdict.
   bool static_elision = false;
 
   // Fig. 8 counting mode: classify every barrier with the precise tree log

@@ -1,33 +1,89 @@
 // Static access-site descriptors.
 //
 // The paper's compiler instruments every memory access inside an atomic
-// block with an STM barrier. We emulate that instrumentation explicitly:
-// each barrier call in benchmark code carries a Site describing the static
-// program point. Two flags reproduce the paper's methodology:
+// block with an STM barrier, then runs a capture analysis (Section 3.2)
+// to delete barriers it can prove unnecessary. We emulate that
+// instrumentation explicitly: each barrier call carries a Site describing
+// the static program point, and the Site carries the *verdict* the static
+// capture analysis (src/txir) produced for that point:
 //
 //  * `manual` — whether the original, hand-instrumented STAMP code had a
 //    TM_SHARED_READ/WRITE at this point. Section 4.1 counts manual sites as
 //    "required" barriers; everything else is compiler over-instrumentation.
-//  * `static_captured` — whether the compiler capture analysis (Section 3.2,
-//    reproduced in src/txir) proves the access targets memory allocated in
-//    the current transaction, so the barrier can be statically elided.
+//  * `verdict` — the analysis classification of the accessed memory. A
+//    non-kUnknown verdict means the barrier compiles to the statically
+//    elided path (zero runtime log probes) under TxConfig::compiler().
+//
+// The verdict lattice (mirrored by cstm::txir's analysis):
+//
+//  | verdict   | proven target                         | elides reads | elides writes |
+//  |-----------|---------------------------------------|--------------|---------------|
+//  | kUnknown  | anything (top)                        | no           | no            |
+//  | kCaptured | heap allocated since tx start         | yes          | yes           |
+//  | kStack    | stack slot created inside the tx      | yes          | yes           |
+//  | kStatic   | immutable static/global data          | yes          | no            |
+//  | kPrivate  | annotated thread-private block (§3.1.3)| yes          | yes           |
+//
+// kStatic never elides a write: the proof is "this data is read-only", so a
+// store through it is an analysis bug the runtime refuses to honor.
 #pragma once
 
+#include <cstdint>
+
 namespace cstm {
+
+/// Static capture-analysis verdict for one access site (see table above).
+enum class Verdict : std::uint8_t {
+  kUnknown = 0,
+  kCaptured,
+  kStack,
+  kStatic,
+  kPrivate,
+};
+
+constexpr const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kUnknown: return "unknown";
+    case Verdict::kCaptured: return "captured";
+    case Verdict::kStack: return "stack";
+    case Verdict::kStatic: return "static";
+    case Verdict::kPrivate: return "private";
+  }
+  return "?";
+}
 
 struct Site {
   const char* name = "anon";
   bool manual = true;
-  bool static_captured = false;
+  Verdict verdict = Verdict::kUnknown;
+
+  /// True when the compiler config may elide a read barrier at this site.
+  constexpr bool read_elidable() const { return verdict != Verdict::kUnknown; }
+  /// True when the compiler config may elide a write barrier at this site
+  /// (kStatic proves read-only data — never a write elision).
+  constexpr bool write_elidable() const {
+    return verdict != Verdict::kUnknown && verdict != Verdict::kStatic;
+  }
 };
 
 /// Shared access the original benchmark instrumented by hand ("required").
-inline constexpr Site kSharedSite{"shared", true, false};
+inline constexpr Site kSharedSite{"shared", true};
 
-/// Compiler-added barrier that static analysis cannot prove captured.
-inline constexpr Site kAutoSite{"auto", false, false};
+/// Compiler-added barrier that static capture analysis cannot classify.
+inline constexpr Site kAutoSite{"auto", false};
 
-/// Compiler-added barrier that static capture analysis proves captured.
-inline constexpr Site kAutoCapturedSite{"auto-captured", false, true};
+/// Compiler-added barrier proven to hit heap memory captured by this tx.
+inline constexpr Site kAutoCapturedSite{"auto-captured", false,
+                                        Verdict::kCaptured};
+
+/// Compiler-added barrier proven to hit a tx-local stack slot.
+inline constexpr Site kAutoStackSite{"auto-stack", false, Verdict::kStack};
+
+/// Compiler-added barrier proven to hit immutable static data (reads only).
+inline constexpr Site kAutoStaticSite{"auto-static", false, Verdict::kStatic};
+
+/// Compiler-added barrier proven to hit an annotated thread-private block.
+inline constexpr Site kAutoPrivateSite{"auto-private", false,
+                                       Verdict::kPrivate};
 
 }  // namespace cstm

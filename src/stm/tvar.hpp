@@ -30,10 +30,10 @@
 // Every wrapper also exposes init(tx, v): an initializing store for memory
 // freshly allocated in this transaction (tx_new). init routes through a
 // Site derived from the field's Site with manual=false and
-// static_captured=true — the paper's "compiler over-instrumented, capture
-// analysis elides" classification — so constructing an object inside a
-// transaction automatically gets the captured-memory fast path without the
-// call site naming a second Site.
+// verdict=Verdict::kCaptured — the paper's "compiler over-instrumented,
+// capture analysis elides" classification — so constructing an object
+// inside a transaction automatically gets the captured-memory fast path
+// without the call site naming a second Site.
 //
 // Outside-transaction access for setup/verification code uses peek()/
 // poke(), which are plain loads/stores (the barriers degenerate to the
@@ -64,7 +64,7 @@ class tvar {
   /// was allocated in this transaction, so a naive compiler's barrier here
   /// is over-instrumentation that capture analysis elides (Section 3.2).
   static constexpr Site kInitSite{S.name, /*manual=*/false,
-                                  /*static_captured=*/true};
+                                  Verdict::kCaptured};
 
   constexpr tvar() = default;
   constexpr tvar(T v) : raw_(v) {}  // NOLINT: aggregate-style member init
@@ -132,7 +132,7 @@ class tvar_array {
 
   static constexpr const Site& site() { return S; }
   static constexpr Site kInitSite{S.name, /*manual=*/false,
-                                  /*static_captured=*/true};
+                                  Verdict::kCaptured};
 
   T get(Tx& tx, std::size_t i) const { return tm_read(tx, &raw_[i], S); }
   void set(Tx& tx, std::size_t i, T v) { tm_write(tx, &raw_[i], v, S); }
@@ -167,7 +167,7 @@ class tspan {
 
   static constexpr const Site& site() { return S; }
   static constexpr Site kInitSite{S.name, /*manual=*/false,
-                                  /*static_captured=*/true};
+                                  Verdict::kCaptured};
 
   constexpr tspan(T* data, std::size_t n) : data_(data), n_(n) {}
 

@@ -1,97 +1,548 @@
 #include "txir/capture_analysis.hpp"
 
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
 namespace cstm::txir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+// A value is a capture class plus provenance bitsets: `sites` names the
+// allocation instructions (txalloc/alloca_tx/fresh-returning calls) the
+// pointer may point into, `params` names the formal parameters it may be a
+// copy of (summary mode only). `sites` survives joins to kUnknown so
+// demotion accounting can tell "lost the proof" from "never had one".
+// `pub` marks values that may alias memory published before this
+// iteration of a loop (set on phi back-edges).
+
+struct AV {
+  enum class Cls : std::uint8_t {
+    kBottom = 0,  // no definition reached yet (optimistic initial state)
+    kCaptured,
+    kStack,
+    kStatic,
+    kPrivate,
+    kParam,  // summary mode: a copy of a formal parameter
+    kUnknown,
+  };
+  Cls cls = Cls::kBottom;
+  std::uint64_t sites = 0;
+  std::uint64_t params = 0;
+  bool pub = false;
+
+  bool operator==(const AV&) const = default;
+};
+
+AV make_unknown() { return AV{AV::Cls::kUnknown, 0, 0, false}; }
+
+AV join(const AV& x, const AV& y) {
+  AV r;
+  r.sites = x.sites | y.sites;
+  r.params = x.params | y.params;
+  r.pub = x.pub || y.pub;
+  if (x.cls == y.cls) {
+    r.cls = x.cls;
+  } else if (x.cls == AV::Cls::kBottom) {
+    r.cls = y.cls;
+  } else if (y.cls == AV::Cls::kBottom) {
+    r.cls = x.cls;
+  } else {
+    r.cls = AV::Cls::kUnknown;  // alias merge of distinct classes
+  }
+  return r;
+}
+
+bool tracked(AV::Cls c) {
+  return c == AV::Cls::kCaptured || c == AV::Cls::kStack;
+}
+
+// ---------------------------------------------------------------------------
+// Function summaries (interprocedural mode)
+// ---------------------------------------------------------------------------
+
+struct Summary {
+  enum class Ret : std::uint8_t {
+    kUnknown = 0,
+    kFresh,   // a new, unpublished transaction-local heap object
+    kParam,   // pass-through of parameter `ret_param`
+    kStatic,
+    kPrivate,
+  };
+  Ret ret = Ret::kUnknown;
+  std::size_t ret_param = 0;
+  std::uint64_t publishes = ~std::uint64_t{0};  // param bitmask (opaque: all)
+  /// The callee may store through pointers it did not allocate itself —
+  /// including pointers loaded out of its arguments' memory — so the
+  /// caller must invalidate every field cell reachable from the call's
+  /// arguments. False only for provably read-only callees.
+  bool writes_reachable = true;
+};
+
+using SummaryCache = std::unordered_map<std::string, Summary>;
+
+constexpr int kMaxSites = 64;  // provenance bitset width; overflow degrades
+                               // to an always-demoted (pub) value — sound
+
+// ---------------------------------------------------------------------------
+// The dataflow engine
+// ---------------------------------------------------------------------------
+// The body is a linear instruction list (joins are explicit phis, loops are
+// phis whose operand is defined later). The engine iterates forward passes
+// to a fixpoint: value states and field cells only move up a finite
+// lattice, and the published-site set at each point grows monotonically,
+// so termination is immediate. Verdicts are recorded in one final pass
+// using the per-point published state.
+
+class Engine {
+ public:
+  Engine(const Function& f, const Program* prog, SummaryCache* cache,
+         bool param_markers)
+      : f_(f), prog_(prog), cache_(cache) {
+    env_.assign(static_cast<std::size_t>(f.next_value), AV{});
+    def_idx_.assign(static_cast<std::size_t>(f.next_value), -2);
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      const auto p = static_cast<std::size_t>(f.params[i]);
+      def_idx_[p] = -1;
+      env_[p] = param_markers && i < 64
+                    ? AV{AV::Cls::kParam, 0, std::uint64_t{1} << i, false}
+                    : make_unknown();
+    }
+    for (std::size_t i = 0; i < f.body.size(); ++i) {
+      const ValueId d = f.body[i].dst;
+      if (d != kNoValue && def_idx_[static_cast<std::size_t>(d)] == -2) {
+        def_idx_[static_cast<std::size_t>(d)] = static_cast<int>(i);
+      }
+    }
+  }
+
+  void run() {
+    // The lattice height bounds the pass count; the guard is a backstop.
+    for (int i = 0; i < 1000; ++i) {
+      if (!pass(nullptr)) break;
+    }
+  }
+
+  AnalysisResult result() {
+    AnalysisResult res;
+    pass(&res.barriers);
+    return res;
+  }
+
+  Summary summarize() const {
+    Summary s;
+    s.publishes = published_params_;
+    s.writes_reachable = wrote_foreign_target_;
+    // Return convention (matches inline_calls): the last defined value.
+    ValueId ret = kNoValue;
+    for (auto it = f_.body.rbegin(); it != f_.body.rend(); ++it) {
+      if (it->dst != kNoValue) {
+        ret = it->dst;
+        break;
+      }
+    }
+    if (ret == kNoValue) return s;
+    const AV& r = env_[static_cast<std::size_t>(ret)];
+    switch (r.cls) {
+      case AV::Cls::kCaptured:
+        if (!r.pub && (r.sites & published_end_) == 0) s.ret = Summary::Ret::kFresh;
+        break;
+      case AV::Cls::kParam:
+        // Single-parameter pass-through only; a may-be-either value is
+        // opaque to the caller.
+        if (r.params != 0 && (r.params & (r.params - 1)) == 0) {
+          s.ret = Summary::Ret::kParam;
+          std::uint64_t m = r.params;
+          while ((m & 1) == 0) {
+            m >>= 1;
+            ++s.ret_param;
+          }
+        }
+        break;
+      case AV::Cls::kStatic:
+        s.ret = Summary::Ret::kStatic;
+        break;
+      case AV::Cls::kPrivate:
+        s.ret = Summary::Ret::kPrivate;
+        break;
+      default:
+        break;
+    }
+    return s;
+  }
+
+ private:
+  std::uint64_t site_bit(std::size_t instr_idx) {
+    auto [it, inserted] = site_ids_.try_emplace(instr_idx, site_ids_.size());
+    return it->second < kMaxSites ? std::uint64_t{1} << it->second : 0;
+  }
+
+  AV alloc_value(AV::Cls cls, std::size_t instr_idx) {
+    const std::uint64_t bit = site_bit(instr_idx);
+    // Site-id overflow: no bit to track publication with, so pessimize the
+    // value to always-demoted instead of risking a missed publication.
+    return AV{cls, bit, 0, bit == 0};
+  }
+
+  AV operand(ValueId v, int at) const {
+    if (v == kNoValue) return make_unknown();
+    AV x = env_[static_cast<std::size_t>(v)];
+    // Back-edge (the definition is textually at or after this use): the
+    // value carried around the loop may have been published in the
+    // previous iteration.
+    if (def_idx_[static_cast<std::size_t>(v)] >= at &&
+        (x.sites & published_end_) != 0) {
+      x.pub = true;
+    }
+    return x;
+  }
+
+  /// The base points at memory no shared pointer can reach (yet).
+  static bool private_target(const AV& base, std::uint64_t published) {
+    return tracked(base.cls) && base.sites != 0 && !base.pub &&
+           (base.sites & published) == 0;
+  }
+
+  /// Marks every site the value may point into as published, transitively
+  /// publishing whatever was stored inside those sites, and records
+  /// escaping parameters.
+  void publish_value(const AV& v, std::uint64_t& published) {
+    published_params_ |= v.params;
+    std::uint64_t frontier = v.sites & ~published;
+    while (frontier != 0) {
+      published |= frontier;
+      std::uint64_t next = 0;
+      for (const auto& [key, cell] : cells_) {
+        if ((std::uint64_t{1} << key.first) & frontier) {
+          next |= cell.sites & ~published;
+          published_params_ |= cell.params;
+        }
+      }
+      frontier = next;
+    }
+  }
+
+  void cell_join(int site, std::int64_t off, const AV& v) {
+    AV& cell = cells_[{site, off}];
+    const AV nv = join(cell, v);
+    if (!(nv == cell)) {
+      cell = nv;
+      changed_ = true;
+    }
+  }
+
+  /// A callee that writes through foreign pointers may overwrite any field
+  /// of memory REACHABLE from its pointer arguments — it can load a stored
+  /// pointer out of an argument's object and store through it — so the
+  /// clobber closes over the field cells the same way publish_value does.
+  /// Joining with unknown keeps each cell's provenance sites (the join
+  /// unions them), so reachability is preserved for later closures.
+  void clobber_reachable_cells(std::uint64_t sites) {
+    std::uint64_t reach = sites;
+    for (;;) {
+      std::uint64_t next = reach;
+      for (const auto& [key, cell] : cells_) {
+        if ((std::uint64_t{1} << key.first) & reach) next |= cell.sites;
+      }
+      if (next == reach) break;
+      reach = next;
+    }
+    for (auto& [key, cell] : cells_) {
+      if (((std::uint64_t{1} << key.first) & reach) == 0) continue;
+      const AV nv = join(cell, make_unknown());
+      if (!(nv == cell)) {
+        cell = nv;
+        changed_ = true;
+      }
+    }
+  }
+
+  AccessVerdict access_verdict(const Instr& ins, const AV& base,
+                               std::uint64_t published) const {
+    AccessVerdict a;
+    a.site = ins.site;
+    a.is_store = ins.op == Op::kStore;
+    const bool lost = base.pub || (base.sites & published) != 0;
+    switch (base.cls) {
+      case AV::Cls::kCaptured:
+        a.verdict = lost ? Verdict::kUnknown : Verdict::kCaptured;
+        a.demoted = lost;
+        break;
+      case AV::Cls::kStack:
+        a.verdict = lost ? Verdict::kUnknown : Verdict::kStack;
+        a.demoted = lost;
+        break;
+      case AV::Cls::kStatic:
+        a.verdict = Verdict::kStatic;  // elidable() refuses the store case
+        break;
+      case AV::Cls::kPrivate:
+        a.verdict = Verdict::kPrivate;
+        break;
+      default:
+        a.verdict = Verdict::kUnknown;
+        // Mixed provenance (e.g. a phi that merged a capture with a shared
+        // pointer) counts as demoted: conservatism, not ignorance.
+        a.demoted = base.sites != 0 || base.pub;
+        break;
+    }
+    return a;
+  }
+
+  void set_env(ValueId dst, const AV& nv) {
+    if (dst == kNoValue) return;
+    AV& slot = env_[static_cast<std::size_t>(dst)];
+    const AV joined = join(slot, nv);
+    if (!(joined == slot)) {
+      slot = joined;
+      changed_ = true;
+    }
+  }
+
+  Summary summary_of(const std::string& callee) {
+    if (prog_ == nullptr || cache_ == nullptr) return Summary{};
+    if (auto it = cache_->find(callee); it != cache_->end()) return it->second;
+    const Function* fn = prog_->find(callee);
+    if (fn == nullptr) return Summary{};
+    // Park the opaque summary first so recursion degrades instead of
+    // looping.
+    cache_->emplace(callee, Summary{});
+    Engine sub(*fn, prog_, cache_, /*param_markers=*/true);
+    sub.run();
+    const Summary s = sub.summarize();
+    (*cache_)[callee] = s;
+    return s;
+  }
+
+  bool pass(std::vector<AccessVerdict>* record) {
+    changed_ = false;
+    std::uint64_t published = 0;
+    for (std::size_t i = 0; i < f_.body.size(); ++i) {
+      const Instr& ins = f_.body[i];
+      const int at = static_cast<int>(i);
+      switch (ins.op) {
+        case Op::kTxAlloc:
+          set_env(ins.dst, alloc_value(AV::Cls::kCaptured, i));
+          break;
+        case Op::kAllocaTx:
+          set_env(ins.dst, alloc_value(AV::Cls::kStack, i));
+          break;
+        case Op::kAllocaPre:
+        case Op::kUnknown:
+          set_env(ins.dst, make_unknown());
+          break;
+        case Op::kStaticAddr:
+          set_env(ins.dst, AV{AV::Cls::kStatic, 0, 0, false});
+          break;
+        case Op::kPrivAddr:
+          set_env(ins.dst, AV{AV::Cls::kPrivate, 0, 0, false});
+          break;
+        case Op::kGep:
+        case Op::kMove:
+          set_env(ins.dst, operand(ins.a, at));
+          break;
+        case Op::kPhi:
+          set_env(ins.dst, join(operand(ins.a, at), operand(ins.b, at)));
+          break;
+        case Op::kLoad: {
+          const AV base = operand(ins.a, at);
+          if (record != nullptr) {
+            record->push_back(access_verdict(ins, base, published));
+          }
+          AV v = make_unknown();
+          if (private_target(base, published)) {
+            // Join of everything stored into the pointed-to field across
+            // the sites the base may name; a field never stored through a
+            // tracked pointer holds unanalyzable bits.
+            v = AV{};
+            for (int s = 0; s < kMaxSites; ++s) {
+              if ((base.sites & (std::uint64_t{1} << s)) == 0) continue;
+              auto it = cells_.find({s, ins.offset});
+              v = join(v, it == cells_.end() ? make_unknown() : it->second);
+            }
+            if (v.cls == AV::Cls::kBottom) v = make_unknown();
+          }
+          set_env(ins.dst, v);
+          break;
+        }
+        case Op::kStore: {
+          const AV base = operand(ins.a, at);
+          const AV val = operand(ins.b, at);
+          if (record != nullptr) {
+            record->push_back(access_verdict(ins, base, published));
+          }
+          if (base.cls == AV::Cls::kBottom) break;  // unreachable so far
+          // A stored parameter may end up reachable from the caller (via
+          // shared memory or a returned object): treat it as escaping.
+          published_params_ |= val.params;
+          if (private_target(base, published)) {
+            for (int s = 0; s < kMaxSites; ++s) {
+              if ((base.sites & (std::uint64_t{1} << s)) != 0) {
+                cell_join(s, ins.offset, val);
+              }
+            }
+          } else if (val.cls != AV::Cls::kBottom) {
+            // The target is not provably this function's own tx-local
+            // memory (summaries report this to callers as writes_reachable).
+            wrote_foreign_target_ = true;
+            // The stored pointer may become shared: published.
+            publish_value(val, published);
+            // A mixed-provenance base (phi of captured and shared) may
+            // still write into a tracked site: its field must absorb the
+            // value so later loads cannot resurrect a stale proof.
+            for (int s = 0; s < kMaxSites; ++s) {
+              if ((base.sites & (std::uint64_t{1} << s)) != 0) {
+                cell_join(s, ins.offset, val);
+              }
+            }
+          }
+          break;
+        }
+        case Op::kCall: {
+          const Function* callee =
+              prog_ != nullptr ? prog_->find(ins.callee) : nullptr;
+          Summary s;  // default: opaque (publishes everything)
+          if (callee != nullptr) s = summary_of(ins.callee);
+          if (s.writes_reachable) wrote_foreign_target_ = true;
+          AV result = make_unknown();
+          for (std::size_t j = 0; j < ins.args.size(); ++j) {
+            const AV arg = operand(ins.args[j], at);
+            if (arg.cls == AV::Cls::kBottom) continue;
+            // Arguments past the bitmask width are treated as opaque:
+            // always published.
+            if (j >= 64 || (s.publishes & (std::uint64_t{1} << j)) != 0) {
+              publish_value(arg, published);
+            }
+            published_params_ |= arg.params;  // callee may store it anywhere
+            if (s.writes_reachable) clobber_reachable_cells(arg.sites);
+          }
+          switch (s.ret) {
+            case Summary::Ret::kFresh:
+              result = alloc_value(AV::Cls::kCaptured, i);
+              break;
+            case Summary::Ret::kParam:
+              if (s.ret_param < ins.args.size()) {
+                result = operand(ins.args[s.ret_param], at);
+              }
+              break;
+            case Summary::Ret::kStatic:
+              result = AV{AV::Cls::kStatic, 0, 0, false};
+              break;
+            case Summary::Ret::kPrivate:
+              result = AV{AV::Cls::kPrivate, 0, 0, false};
+              break;
+            case Summary::Ret::kUnknown:
+              break;
+          }
+          set_env(ins.dst, result);
+          break;
+        }
+      }
+    }
+    if (published != published_end_) {
+      published_end_ |= published;
+      changed_ = true;
+    }
+    return changed_;
+  }
+
+  const Function& f_;
+  const Program* prog_;
+  SummaryCache* cache_;
+  std::vector<AV> env_;
+  std::vector<int> def_idx_;  // -1 = parameter, -2 = never defined
+  std::map<std::pair<int, std::int64_t>, AV> cells_;
+  std::unordered_map<std::size_t, std::size_t> site_ids_;
+  std::uint64_t published_end_ = 0;
+  std::uint64_t published_params_ = 0;
+  /// Stored through a pointer that is not provably this function's own
+  /// unpublished tx-local memory (or called something that may have).
+  bool wrote_foreign_target_ = false;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AnalysisResult queries
+// ---------------------------------------------------------------------------
+
+Verdict AnalysisResult::site_verdict(const std::string& site) const {
+  bool seen = false;
+  Verdict v = Verdict::kUnknown;
+  for (const auto& b : barriers) {
+    if (b.site != site) continue;
+    if (!seen) {
+      v = b.verdict;
+      seen = true;
+    } else if (v != b.verdict) {
+      return Verdict::kUnknown;
+    }
+  }
+  return v;
+}
 
 bool AnalysisResult::site_elidable(const std::string& site) const {
   bool seen = false;
   for (const auto& b : barriers) {
     if (b.site != site) continue;
     seen = true;
-    if (!b.elidable) return false;
+    if (!b.elidable()) return false;
   }
   return seen;
 }
 
+bool AnalysisResult::site_demoted(const std::string& site) const {
+  if (site_elidable(site)) return false;
+  for (const auto& b : barriers) {
+    if (b.site == site && b.demoted) return true;
+  }
+  return false;
+}
+
+AnalysisStats AnalysisResult::stats() const {
+  AnalysisStats s;
+  std::unordered_set<std::string> labels;
+  for (const auto& b : barriers) labels.insert(b.site);
+  s.sites_total = labels.size();
+  for (const auto& label : labels) {
+    if (site_elidable(label)) {
+      ++s.proven;
+    } else if (site_demoted(label)) {
+      ++s.demoted;
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
 AnalysisResult analyze(const Function& f) {
-  AnalysisResult res;
-  res.states.assign(static_cast<std::size_t>(f.next_value),
-                    ValueState::kUnknown);
-  auto state = [&](ValueId v) -> ValueState {
-    return v == kNoValue ? ValueState::kUnknown
-                         : res.states[static_cast<std::size_t>(v)];
-  };
-
-  // Flow-insensitive fixpoint. The lattice has two points and transfer
-  // functions are monotone (a value can only be *promoted* to captured when
-  // all its sources are captured), so iteration terminates quickly; the
-  // loop handles defs that textually precede their operands (phis in
-  // loops).
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Instr& ins : f.body) {
-      ValueState next = ValueState::kUnknown;
-      switch (ins.op) {
-        case Op::kTxAlloc:
-        case Op::kAllocaTx:
-          next = ValueState::kCaptured;
-          break;
-        case Op::kAllocaPre:
-          // Live-in stack slot: not captured (needs undo logging).
-          next = ValueState::kUnknown;
-          break;
-        case Op::kGep:
-        case Op::kMove:
-          next = state(ins.a);
-          break;
-        case Op::kPhi:
-          next = (state(ins.a) == ValueState::kCaptured &&
-                  state(ins.b) == ValueState::kCaptured)
-                     ? ValueState::kCaptured
-                     : ValueState::kUnknown;
-          break;
-        case Op::kLoad:
-          // A value loaded from memory is opaque even when the memory is
-          // captured: the stored bits could be any pointer.
-          next = ValueState::kUnknown;
-          break;
-        case Op::kCall:
-        case Op::kUnknown:
-          next = ValueState::kUnknown;
-          break;
-        case Op::kStore:
-          continue;  // no def
-      }
-      if (ins.dst == kNoValue) continue;
-      auto& slot = res.states[static_cast<std::size_t>(ins.dst)];
-      if (next != slot) {
-        // Monotonicity: only ever promote towards captured; a competing
-        // unknown def of the same value (shouldn't happen in well-formed
-        // SSA) keeps it unknown.
-        if (slot == ValueState::kUnknown && next == ValueState::kCaptured) {
-          slot = next;
-          changed = true;
-        }
-      }
-    }
-  }
-
-  for (const Instr& ins : f.body) {
-    if (ins.op == Op::kLoad || ins.op == Op::kStore) {
-      res.barriers.push_back(BarrierDecision{
-          ins.site, ins.op == Op::kStore,
-          state(ins.a) == ValueState::kCaptured});
-    }
-  }
-  return res;
+  Engine e(f, nullptr, nullptr, /*param_markers=*/false);
+  e.run();
+  return e.result();
 }
 
 AnalysisResult analyze(const Program& p, const std::string& entry,
                        int inline_depth) {
   const Function* f = p.find(entry);
   if (f == nullptr) return AnalysisResult{};
-  if (inline_depth <= 0) return analyze(*f);
-  return analyze(inline_calls(p, *f, inline_depth));
+  SummaryCache cache;
+  if (inline_depth > 0) {
+    const Function inlined = inline_calls(p, *f, inline_depth);
+    Engine e(inlined, &p, &cache, /*param_markers=*/false);
+    e.run();
+    return e.result();
+  }
+  Engine e(*f, &p, &cache, /*param_markers=*/false);
+  e.run();
+  return e.result();
 }
 
 }  // namespace cstm::txir

@@ -1,38 +1,98 @@
-// Compiler capture analysis (paper Section 3.2): a conservative,
-// flow-insensitive, intraprocedural pointer analysis that classifies each
-// IR value as definitely-captured or unknown, then decides per load/store
-// whether its STM barrier can be statically elided.
+// Static capture analysis over TxIR (paper Section 3.2, grown from the
+// paper's flow-insensitive two-point analysis into the pipeline that feeds
+// the typed API's Site verdicts).
 //
-// Key transactional insight encoded here: storing a captured pointer into
-// shared memory does NOT un-capture the memory it points to — transaction
-// isolation keeps newly allocated memory private until commit. Hence stores
-// and opaque calls never kill capture facts; the only sources of
-// imprecision are values whose provenance the analysis cannot see (loads
-// from memory, parameters, opaque call results).
+// The analysis is flow-sensitive and interprocedural. Per value it tracks
+// an abstract pointer: a capture class plus the set of allocation sites it
+// may point into; per captured/stack allocation site it additionally
+// tracks the abstract contents of each field (so a pointer stored into
+// captured memory and loaded back keeps its classification). Each
+// load/store access site receives a Verdict from the same lattice the
+// runtime Site descriptors use (stm/site.hpp):
+//
+//   kCaptured — heap memory allocated since the transaction started
+//   kStack    — a stack slot created inside the atomic block
+//   kStatic   — immutable static data (read elision only)
+//   kPrivate  — an annotation-registered thread-private block
+//   kUnknown  — everything else: the barrier stays
+//
+// Conservatism rules (each is a soundness requirement for *static* elision,
+// which compiles to a plain access with zero runtime probes and therefore
+// has no fallback when the proof is wrong):
+//
+//  * Publication: storing a captured pointer into memory that may be
+//    shared (an unknown base, an already-published object, an opaque call
+//    argument, a callee-published parameter) publishes the allocation site
+//    — transitively through anything stored inside it — and every access
+//    through it *after* that program point is demoted to kUnknown. The
+//    runtime filters (alloc log, stack range) keep eliding such accesses;
+//    only the static proof is withdrawn. Flow-sensitivity is what keeps
+//    the common STAMP shape (initialize fields, then link) fully proven:
+//    the inits precede the publication.
+//  * Alias merges: a phi joining captured and unknown inputs is unknown.
+//  * Loads: a value loaded from shared, published, static, or private
+//    memory is opaque (the bits could be any pointer). Loads from
+//    *unpublished* captured memory return the join of everything stored
+//    into that site's field.
+//  * Calls: unknown callees may publish every pointer argument. Known
+//    callees are either inlined (analyze with inline_depth > 0) or
+//    summarized: the summary records which parameters the callee may
+//    publish and whether the return value is a fresh capture, a parameter
+//    pass-through, static, or private. Recursion degrades to the opaque
+//    summary.
+//
+// Accesses whose pointer had captured/stack provenance but lost the proof
+// to one of these rules are reported as "demoted" — the analysis-precision
+// number the harness prints per kernel (sites total / proven / demoted).
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "stm/site.hpp"
 #include "txir/ir.hpp"
 
 namespace cstm::txir {
 
-enum class ValueState : std::uint8_t {
-  kUnknown = 0,   // may point anywhere
-  kCaptured = 1,  // definitely points into transaction-local memory
+/// One load/store access site occurrence, in body order.
+struct AccessVerdict {
+  std::string site;  // site label of the load/store
+  bool is_store = false;
+  Verdict verdict = Verdict::kUnknown;
+  /// The pointer had tx-local provenance but publication/alias/escape
+  /// conservatism withdrew the static proof (barrier kept).
+  bool demoted = false;
+
+  /// Whether the compiler deletes this barrier (stores to static data keep
+  /// theirs — mirroring Site::read_elidable/write_elidable).
+  bool elidable() const {
+    if (verdict == Verdict::kUnknown) return false;
+    if (is_store && verdict == Verdict::kStatic) return false;
+    return true;
+  }
 };
 
-struct BarrierDecision {
-  std::string site;   // load/store site label
-  bool is_store;
-  bool elidable;      // true => compiler removes the STM barrier
+/// Site-level aggregate over unique site labels.
+struct AnalysisStats {
+  std::size_t sites_total = 0;
+  std::size_t proven = 0;   // every occurrence elidable
+  std::size_t demoted = 0;  // not proven, and conservatism (not ignorance)
+                            // is what kept at least one occurrence
 };
 
 struct AnalysisResult {
-  std::vector<ValueState> states;        // indexed by ValueId
-  std::vector<BarrierDecision> barriers; // one per load/store, body order
+  std::vector<AccessVerdict> barriers;  // one per load/store, body order
+
+  /// The verdict all occurrences of the named site agree on (kUnknown when
+  /// the site never appears or occurrences disagree).
+  Verdict site_verdict(const std::string& site) const;
+  /// True iff the named site appears and every occurrence is elidable.
+  bool site_elidable(const std::string& site) const;
+  /// True iff the named site keeps its barrier due to demotion.
+  bool site_demoted(const std::string& site) const;
+
+  AnalysisStats stats() const;
 
   std::size_t total(bool stores) const {
     std::size_t n = 0;
@@ -41,20 +101,18 @@ struct AnalysisResult {
   }
   std::size_t elided(bool stores) const {
     std::size_t n = 0;
-    for (const auto& b : barriers) n += (b.is_store == stores && b.elidable);
+    for (const auto& b : barriers) n += (b.is_store == stores && b.elidable());
     return n;
   }
-  /// True iff the named site's barrier is elided (all occurrences agree;
-  /// if any occurrence needs a barrier the site keeps its barrier).
-  bool site_elidable(const std::string& site) const;
 };
 
-/// Analyzes a single function (no inlining).
+/// Analyzes a single function with no program context: every call is
+/// opaque (publishes its pointer arguments, returns unknown).
 AnalysisResult analyze(const Function& f);
 
-/// Inlines known callees up to @p inline_depth, then analyzes — the paper's
-/// configuration ("relies on function inlining to extend the analysis
-/// results across function calls").
+/// Inlines known callees up to @p inline_depth, then analyzes; calls that
+/// remain (depth exhausted, or depth 0) are resolved through function
+/// summaries when the callee is known, and treated as opaque otherwise.
 AnalysisResult analyze(const Program& p, const std::string& entry,
                        int inline_depth);
 

@@ -108,6 +108,8 @@ std::string to_string(const Function& f) {
       case Op::kTxAlloc: os << v(ins.dst) << " = txalloc"; break;
       case Op::kAllocaTx: os << v(ins.dst) << " = alloca_tx"; break;
       case Op::kAllocaPre: os << v(ins.dst) << " = alloca_pre"; break;
+      case Op::kStaticAddr: os << v(ins.dst) << " = static_addr"; break;
+      case Op::kPrivAddr: os << v(ins.dst) << " = priv_addr"; break;
       case Op::kGep:
         os << v(ins.dst) << " = gep " << v(ins.a) << ", " << ins.offset;
         break;

@@ -6,17 +6,19 @@
 //   %p = txalloc 64           ; heap allocation inside the transaction
 //   %q = alloca_tx 16         ; stack local declared inside the atomic block
 //   %r = alloca_pre 16        ; stack local live before the transaction
+//   %g = static_addr          ; address of immutable static/global data
+//   %t = priv_addr            ; address of an annotated thread-private block
 //   %f = gep %p, 8            ; pointer arithmetic within a block
 //   %v = load %p, 8           ; memory read through %p  (site of a barrier)
 //   store %p, 8, %v           ; memory write through %p (site of a barrier)
 //   %x = move %y              ; copy
 //   %z = phi %a, %b           ; control-flow join
-//   %w = call foo, %p, %q     ; call; may be inlined if foo is known
+//   %w = call foo, %p, %q     ; call; may be inlined or summarized if known
 //   %c = unknown              ; opaque value (e.g. loaded from memory)
 //
-// The analysis computes, per value, whether it must point into memory
-// captured by the current transaction; loads/stores through captured
-// pointers need no STM barrier.
+// The analysis (txir/capture_analysis.hpp) computes, per access site, a
+// capture Verdict; loads/stores with a non-unknown verdict need no STM
+// barrier (stores to static data excepted).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +35,8 @@ enum class Op : std::uint8_t {
   kTxAlloc,    // dst = transaction-local heap allocation
   kAllocaTx,   // dst = stack slot created inside the atomic block
   kAllocaPre,  // dst = stack slot that pre-exists the transaction (live-in)
+  kStaticAddr, // dst = address of immutable static/global data
+  kPrivAddr,   // dst = address of an annotation-registered private block
   kGep,        // dst = a + constant offset (same block)
   kMove,       // dst = a
   kPhi,        // dst = join(a, b)
@@ -93,6 +97,8 @@ class FunctionBuilder {
   ValueId txalloc() { return emit_def(Op::kTxAlloc); }
   ValueId alloca_tx() { return emit_def(Op::kAllocaTx); }
   ValueId alloca_pre() { return emit_def(Op::kAllocaPre); }
+  ValueId static_addr() { return emit_def(Op::kStaticAddr); }
+  ValueId priv_addr() { return emit_def(Op::kPrivAddr); }
   ValueId unknown() { return emit_def(Op::kUnknown); }
   ValueId gep(ValueId base, std::int64_t off) {
     Instr i{Op::kGep};

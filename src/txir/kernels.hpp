@@ -1,31 +1,66 @@
 // txir encodings of representative STAMP transactional kernels.
 //
-// The execution-side benchmarks (src/stamp) tag each access site with a
-// static_captured flag consumed by the "compiler" configuration. These
-// kernels are the analysis-side justification: tests run the capture
-// analysis over them and cross-check that every site the benchmarks elide
-// statically is proven captured here, and every site they keep is not.
+// The execution-side code (src/stamp, src/containers) tags each access
+// site with a Site whose `verdict` field records what the static capture
+// analysis proved about it. These kernels are the analysis-side
+// justification: tests run the capture analysis over them and cross-check
+// that every verdict the execution side bakes into a Site constant is the
+// verdict the analysis actually derives — and that every site the analysis
+// refuses (publication, aliasing, escape) keeps its barrier.
+//
+// The kernel set covers the paper's Figure 1 patterns plus the shapes that
+// exercise each analysis feature: vacation's table update and reservation
+// (tx_new + field init + tree attach; private query vector + stack
+// scratch), genome's segment dedup insert (chain-node init, bucket link,
+// then a post-publication update that must demote), and the vector
+// grow-and-copy of Figure 1(b) lowered through an allocator helper that is
+// provable both by summary (inline depth 0) and by inlining.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "txir/capture_analysis.hpp"
 #include "txir/ir.hpp"
 
 namespace cstm::txir {
 
-/// Builds the kernel program (entry functions listed below plus inlinable
-/// helpers such as the pvector allocator).
+/// Builds the kernel program (entry functions listed in the expectation
+/// table plus inlinable/summarizable helpers such as the vector allocator).
 Program stamp_kernels();
+
+/// Expected analysis outcome for one site label of one kernel entry.
+struct SiteExpectation {
+  std::string site;
+  Verdict verdict;  // expected site_verdict
+  bool elidable;    // expected site_elidable (direction rules applied)
+  bool demoted;     // expected site_demoted
+};
 
 struct KernelExpectation {
   std::string entry;
-  int inline_depth;                         // 0 = strictly intraprocedural
-  std::vector<std::string> elidable_sites;  // proven captured
-  std::vector<std::string> barrier_sites;   // must keep the STM barrier
+  int inline_depth;  // 0 = summaries only, >0 = paper-style inlining
+  std::vector<SiteExpectation> sites;
 };
 
-/// Ground truth table used by tests and by the stamp site tables.
+/// Ground truth table used by tests and cross-checked against the Site
+/// constants the execution-side code binds.
 std::vector<KernelExpectation> stamp_kernel_expectations();
+
+/// Per-kernel analysis precision, computed at the paper's configuration
+/// (inline depth 2): the numbers behind the harness elision table.
+struct KernelReport {
+  std::string entry;
+  AnalysisStats stats;
+  std::size_t loads = 0;
+  std::size_t stores = 0;
+  std::size_t elided_accesses = 0;
+};
+
+std::vector<KernelReport> stamp_kernel_reports();
+
+/// The formatted "sites total / proven / demoted" table printed by the
+/// harness (figures 8-10 headers) and scripts/check.sh.
+std::string kernel_report_table();
 
 }  // namespace cstm::txir

@@ -1,0 +1,259 @@
+// Cross-config differential torture test.
+//
+// Barrier elision — static, runtime, or none — may change SPEED, never
+// OUTCOMES. This suite runs one randomized container+malloc workload to a
+// fixed seed under EVERY barrier preset (full / static / stack+heap+priv
+// and heap-only across all three alloc-log structures / counting / the
+// generic per-access fallback) and asserts bit-identical final state and
+// identical commit counts across all of them.
+//
+// The workload is single-threaded on purpose: with no conflicts the
+// execution is fully deterministic, so any digest divergence is a real
+// elision bug (a skipped undo log, a store that bypassed isolation, a
+// nested abort that restored the wrong bytes), not scheduling noise. The
+// concurrent analogue lives in tests/test_concurrent.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "containers/containers.hpp"
+#include "stm/stm.hpp"
+#include "support/random.hpp"
+
+namespace cstm {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5eed2009u;
+constexpr int kSteps = 12000;
+constexpr std::uint64_t kKeyRange = 256;
+
+/// Every barrier preset named by the paper plus the off-preset flag
+/// combinations that exercise the kGeneric fallback.
+std::vector<std::pair<std::string, TxConfig>> all_presets() {
+  std::vector<std::pair<std::string, TxConfig>> presets = {
+      {"full", TxConfig::baseline()},
+      {"static", TxConfig::compiler()},
+      {"rw_tree", TxConfig::runtime_rw(AllocLogKind::kTree)},
+      {"rw_array", TxConfig::runtime_rw(AllocLogKind::kArray)},
+      {"rw_filter", TxConfig::runtime_rw(AllocLogKind::kFilter)},
+      {"w_tree", TxConfig::runtime_w(AllocLogKind::kTree)},
+      {"w_array", TxConfig::runtime_w(AllocLogKind::kArray)},
+      {"w_filter", TxConfig::runtime_w(AllocLogKind::kFilter)},
+      {"heap_w_tree", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
+      {"heap_w_array", TxConfig::runtime_heap_w(AllocLogKind::kArray)},
+      {"heap_w_filter", TxConfig::runtime_heap_w(AllocLogKind::kFilter)},
+      {"counting", TxConfig::counting()},
+  };
+  {
+    // Stack-write-only: no preset names it, so the plan compiles to the
+    // kGeneric per-access fallback.
+    TxConfig generic;
+    generic.stack_write = true;
+    presets.emplace_back("generic_stack_w", generic);
+  }
+  {
+    // Static elision combined with runtime checks: also kGeneric.
+    TxConfig generic = TxConfig::runtime_w(AllocLogKind::kArray);
+    generic.static_elision = true;
+    presets.emplace_back("generic_static_rt", generic);
+  }
+  return presets;
+}
+
+struct Digest {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  void fold(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  }
+};
+
+struct RunOutcome {
+  std::uint64_t digest = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+/// The torture workload: maps, lists, vectors, queues, heaps, bitmaps,
+/// hashtables, raw tx_malloc scratch, nested transactions, and
+/// deterministic user aborts, all driven by one fixed-seed RNG.
+RunOutcome run_workload(const TxConfig& cfg, int steps = kSteps) {
+  set_global_config(cfg);
+  stats_reset();
+
+  TxMap<std::uint64_t, std::uint64_t> map;
+  TxHashtable<std::uint64_t, std::uint64_t> table(64);
+  TxList<std::uint64_t> list;
+  TxVector<std::uint64_t> vec(2);  // tiny: forces many captured grow-copies
+  TxQueue<std::uint64_t> queue;
+  TxHeap<std::uint64_t> heap(2);
+  TxBitmap bitmap(kKeyRange);
+  tvar<std::uint64_t> counter{0};
+
+  Xoshiro256 rng(kSeed);
+  for (int step = 0; step < steps; ++step) {
+    const std::uint64_t key = rng.below(kKeyRange);
+    const std::uint64_t val = rng.next();
+    const std::uint64_t op = rng.below(12);
+    switch (op) {
+      case 0:
+        atomic([&](Tx& tx) { map.insert(tx, key, val); });
+        break;
+      case 1:
+        atomic([&](Tx& tx) { map.erase(tx, key); });
+        break;
+      case 2:
+        atomic([&](Tx& tx) { table.put(tx, key, val); });
+        break;
+      case 3:
+        atomic([&](Tx& tx) {
+          if (list.size(tx) < 512) list.insert(tx, key);
+        });
+        break;
+      case 4:
+        atomic([&](Tx& tx) { list.remove(tx, key); });
+        break;
+      case 5:
+        atomic([&](Tx& tx) {
+          if (vec.size(tx) < 512) {
+            vec.push_back(tx, val);
+          } else {
+            vec.set(tx, val % 512, val);
+          }
+        });
+        break;
+      case 6:
+        atomic([&](Tx& tx) { queue.push(tx, val); });
+        break;
+      case 7: {
+        std::uint64_t out = 0;
+        atomic([&](Tx& tx) {
+          if (queue.pop(tx, &out)) counter.add(tx, out & 0xff);
+        });
+        break;
+      }
+      case 8:
+        atomic([&](Tx& tx) {
+          if (heap.size(tx) < 512) heap.push(tx, val);
+          std::uint64_t top = 0;
+          if (rng.below(3) == 0 && heap.pop(tx, &top)) {
+            counter.add(tx, top & 0xff);
+          }
+        });
+        break;
+      case 9:
+        atomic([&](Tx& tx) {
+          if (bitmap.set(tx, key)) counter.add(tx, 1);
+        });
+        break;
+      case 10: {
+        // Allocation-heavy transaction with a nested child that sometimes
+        // partially aborts: exercises captured-memory undo in nested
+        // transactions plus alloc-log insert/erase under every log.
+        const bool abort_child = (step % 5) == 0;
+        atomic([&](Tx& tx) {
+          auto* scratch = static_cast<std::uint64_t*>(tx_malloc(tx, 256));
+          for (int j = 0; j < 32; ++j) {
+            tm_write(tx, &scratch[j], val + static_cast<std::uint64_t>(j),
+                     kAutoSite);
+          }
+          atomic([&](Tx& itx) {
+            tm_write(itx, &scratch[0], std::uint64_t{0}, kAutoSite);
+            counter.add(itx, 1000);
+            if (abort_child) abort_tx();  // partial abort: both undone
+          });
+          std::uint64_t sum = 0;
+          for (int j = 0; j < 32; ++j) sum += tm_read(tx, &scratch[j], kAutoSite);
+          tx_free(tx, scratch);
+          counter.add(tx, sum & 0xffff);
+        });
+        break;
+      }
+      default: {
+        // Deterministic top-level cancel: everything must roll back.
+        const bool cancel = (step % 3) == 0;
+        atomic([&](Tx& tx) {
+          counter.add(tx, 7);
+          map.insert(tx, key ^ 0x80, val);
+          if (cancel) abort_tx();
+        });
+        break;
+      }
+    }
+  }
+
+  // Fold the complete final state.
+  Digest d;
+  map.for_each_sequential([&](std::uint64_t k, std::uint64_t v) {
+    d.fold(k);
+    d.fold(v);
+  });
+  atomic([&](Tx& tx) {
+    for (std::uint64_t k = 0; k < kKeyRange; ++k) {
+      std::uint64_t v = 0;
+      if (table.find(tx, k, &v)) {
+        d.fold(k);
+        d.fold(v);
+      }
+    }
+    typename TxList<std::uint64_t>::Iterator it;
+    list.iter_reset(tx, &it);
+    while (list.iter_has_next(tx, &it)) d.fold(list.iter_next(tx, &it));
+    const std::size_t n = vec.size(tx);
+    d.fold(n);
+    for (std::size_t i = 0; i < n; ++i) d.fold(vec.at(tx, i));
+    std::uint64_t v = 0;
+    while (queue.pop(tx, &v)) d.fold(v);
+    while (heap.pop(tx, &v)) d.fold(v);
+  });
+  for (std::uint64_t k = 0; k < kKeyRange; ++k) {
+    atomic([&](Tx& tx) { d.fold(bitmap.test(tx, k) ? k : ~k); });
+  }
+  d.fold(bitmap.count_sequential());
+  d.fold(counter.peek());
+
+  const TxStats s = stats_snapshot();
+  set_global_config(TxConfig::baseline());
+  return RunOutcome{d.hash, s.commits, s.aborts};
+}
+
+TEST(Differential, AllBarrierPresetsProduceIdenticalState) {
+  const auto presets = all_presets();
+  RunOutcome reference{};
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    const auto& [name, cfg] = presets[i];
+    const RunOutcome out = run_workload(cfg);
+    SCOPED_TRACE("preset: " + name);
+    EXPECT_GT(out.commits, 0u);
+    // Single-threaded: conflicts are impossible, so every preset must
+    // commit the same transactions.
+    EXPECT_EQ(out.aborts, 0u);
+    if (i == 0) {
+      reference = out;
+      continue;
+    }
+    EXPECT_EQ(out.digest, reference.digest)
+        << name << " diverged from " << presets[0].first;
+    EXPECT_EQ(out.commits, reference.commits)
+        << name << " commit count diverged from " << presets[0].first;
+  }
+}
+
+// The comparison must be able to fail: the workload must be deterministic
+// (two identical runs agree) AND the digest must be sensitive (a slightly
+// different workload diverges), otherwise the equality above is vacuous.
+TEST(Differential, WorkloadDeterministicAndDigestSensitive) {
+  const RunOutcome a = run_workload(TxConfig::baseline());
+  const RunOutcome b = run_workload(TxConfig::baseline());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.commits, b.commits);
+  const RunOutcome c = run_workload(TxConfig::baseline(), kSteps - 7);
+  EXPECT_NE(c.digest, a.digest);
+}
+
+}  // namespace
+}  // namespace cstm

@@ -13,9 +13,10 @@ namespace cstm {
 namespace {
 
 namespace test_sites {
-inline constexpr Site kShared{"tvar.test.shared", true, false};
-inline constexpr Site kCaptured{"tvar.test.captured", false, true};
-inline constexpr Site kAuto{"tvar.test.auto", false, false};
+inline constexpr Site kShared{"tvar.test.shared", true};
+inline constexpr Site kCaptured{"tvar.test.captured", false,
+                                Verdict::kCaptured};
+inline constexpr Site kAuto{"tvar.test.auto", false};
 }  // namespace test_sites
 
 class TvarTest : public ::testing::Test {
@@ -146,7 +147,7 @@ TEST_F(TvarTest, StaticSiteElisionCounters) {
 
 TEST_F(TvarTest, TfieldInitSiteIsStaticallyCaptured) {
   // tfield::init routes through a Site derived from the field's Site with
-  // static_captured=true: the compiler preset elides it with zero runtime
+  // verdict=kCaptured: the compiler preset elides it with zero runtime
   // checks.
   set_global_config(TxConfig::compiler());
   struct Obj {
