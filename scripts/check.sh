@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 verify (release build + full ctest, which includes
-# the cross-config differential torture suite), the same test suite under
+# Local mirror of the CI pipeline (.github/workflows/ci.yml drives the
+# hermetic scripts/ci.sh; this script runs the same gates but tolerates
+# missing optional tools with loud SKIP banners instead of failing):
+# the tier-1 verify (release build + full ctest, which includes the
+# cross-config differential torture suite), the same test suite under
 # AddressSanitizer, the gtest suites under ThreadSanitizer, the typed-API
 # boundary grep, the per-kernel static-analysis elision table (printed in
 # every run so analysis-precision regressions are visible), the advisory
 # bench regression gate (scripts/bench_gate.py; -s makes it fatal), and
 # (when clang-format is installed) the format check. Also reachable as the
 # `check` CMake target once a build tree is configured.
+#
+# Fast inner loop while developing: `ctest -L unit` in a configured build
+# tree (unit = gtest suites + source greps; torture and bench-smoke are
+# separate labels with their own timeouts).
 #
 # Usage: scripts/check.sh [-j N] [-s]
 #   -s  strict: bench-gate violations fail the run (quiet hardware only)

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Hermetic CI entry point, driven by .github/workflows/ci.yml and usable
+# verbatim on any machine. Philosophy:
+#
+#  * NOTHING is installed implicitly. The only command that touches the
+#    package manager is the explicit `setup` mode (run as a dedicated,
+#    visible CI step); every other mode verifies its dependencies up front
+#    and fails loudly with the exact names of what is missing.
+#  * One mode per CI matrix cell: `release`, `asan`, `tsan` each configure
+#    the matching CMake preset with the -Werror gate enabled, build, and
+#    run ctest with --output-on-failure and the per-test TIMEOUTs/LABELS
+#    registered in CMakeLists.txt.
+#  * `release` additionally writes the static-analysis elision table and
+#    the (advisory) bench-gate report into ci-artifacts/ for the workflow
+#    to upload.
+#  * `format` runs the clang-format gate for real — the CI image installs
+#    a pinned clang-format in `setup`, so the check cannot self-skip the
+#    way it does on dev boxes without the tool.
+#
+# scripts/check.sh remains the local mirror (it runs the same suites but
+# tolerates missing optional tools with loud SKIP banners).
+#
+# Usage: scripts/ci.sh {setup|release|asan|tsan|format}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pinned clang-format major version: bump deliberately, reformat in the
+# same commit. (Format output differs across majors.)
+CLANG_FORMAT_VERSION="${CLANG_FORMAT_VERSION:-15}"
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+die() {
+  echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+  echo "!!! ci.sh: $*" >&2
+  echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+  exit 1
+}
+
+require() {
+  local missing=()
+  for tool in "$@"; do
+    command -v "$tool" > /dev/null 2>&1 || missing+=("$tool")
+  done
+  if [ "${#missing[@]}" -ne 0 ]; then
+    die "missing required tools: ${missing[*]} — run 'scripts/ci.sh setup' (CI image) or install them explicitly"
+  fi
+}
+
+run_preset() {
+  local preset="$1"
+  require cmake ctest c++
+  echo "== ci.sh: configure preset '$preset' (CSTM_WERROR=ON) =="
+  cmake --preset "$preset" -DCSTM_WERROR=ON
+  echo "== ci.sh: build preset '$preset' =="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "== ci.sh: ctest preset '$preset' (labels: unit, torture, bench-smoke) =="
+  ctest --preset "$preset" --output-on-failure
+}
+
+mode="${1:-}"
+case "$mode" in
+  setup)
+    # The ONLY mode allowed to install anything, and it does so explicitly
+    # and pinned — a dedicated CI step, never a side effect of a build.
+    require apt-get
+    echo "== ci.sh setup: installing pinned toolchain deps =="
+    export DEBIAN_FRONTEND=noninteractive
+    apt-get update
+    apt-get install -y --no-install-recommends \
+      cmake g++ make python3 libgtest-dev libbenchmark-dev \
+      "clang-format-${CLANG_FORMAT_VERSION}"
+    # The check-format target looks for plain `clang-format`.
+    update-alternatives --install /usr/bin/clang-format clang-format \
+      "/usr/bin/clang-format-${CLANG_FORMAT_VERSION}" 100
+    echo "== ci.sh setup: done =="
+    ;;
+
+  release)
+    run_preset release
+    echo "== ci.sh: collecting release artifacts =="
+    mkdir -p ci-artifacts
+    ./build/example_compiler_analysis > ci-artifacts/capture-analysis-report.txt
+    if command -v python3 > /dev/null 2>&1; then
+      # Advisory on CI hardware (noisy shared runners); check.sh -s is the
+      # strict mode for quiet boxes. The report is uploaded either way so
+      # perf drift is visible per-run.
+      python3 scripts/bench_gate.py | tee ci-artifacts/bench-gate-report.txt
+    else
+      die "python3 missing for the bench gate — run 'scripts/ci.sh setup'"
+    fi
+    ;;
+
+  asan|tsan)
+    run_preset "$mode"
+    ;;
+
+  format)
+    require cmake clang-format
+    found="$(clang-format --version)"
+    case "$found" in
+      *"version ${CLANG_FORMAT_VERSION}."*) ;;
+      *) die "clang-format major mismatch: want ${CLANG_FORMAT_VERSION}, found: ${found}" ;;
+    esac
+    echo "== ci.sh: clang-format gate (${found}) =="
+    # No -DCSTM_WERROR here: the flag is irrelevant to formatting and
+    # would persist in a developer's local build/ cache.
+    cmake --preset release > /dev/null
+    cmake --build build --target check-format
+    ;;
+
+  *)
+    echo "usage: $0 {setup|release|asan|tsan|format}" >&2
+    exit 2
+    ;;
+esac
+
+echo "== ci.sh $mode: OK =="

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -18,8 +19,8 @@ namespace {
 // pointer may point into, `params` names the formal parameters it may be a
 // copy of (summary mode only). `sites` survives joins to kUnknown so
 // demotion accounting can tell "lost the proof" from "never had one".
-// `pub` marks values that may alias memory published before this
-// iteration of a loop (set on phi back-edges).
+// `pub` marks values pessimized by site-bitset overflow: with no bit to
+// track publication, the value is treated as always-published (sound).
 
 struct AV {
   enum class Cls : std::uint8_t {
@@ -90,47 +91,143 @@ constexpr int kMaxSites = 64;  // provenance bitset width; overflow degrades
                                // to an always-demoted (pub) value — sound
 
 // ---------------------------------------------------------------------------
+// Per-block dataflow state
+// ---------------------------------------------------------------------------
+// The full abstract state flowing along a CFG edge: the environment (one
+// AV per IR value), the field cells of tracked allocation sites, and the
+// set of sites that may already be published on some path reaching this
+// point. Joins are pointwise; the publication set joins by union — that
+// union at a merge is precisely what demotes post-merge accesses when only
+// one branch published.
+
+struct State {
+  std::vector<AV> env;
+  std::map<std::pair<int, std::int64_t>, AV> cells;
+  std::uint64_t published = 0;
+  /// False until the first predecessor state is joined in. The very first
+  /// join copies wholesale; later joins treat a field cell missing on
+  /// EITHER side as "never stored on that path" = unanalyzable bits, and
+  /// demote it to unknown. (Values need no such rule: a value live across
+  /// a merge is defined on every path by the def-dominates-use invariant.)
+  bool initialized = false;
+
+  /// Joins @p src into *this; true if anything changed (monotone).
+  bool join_from(const State& src) {
+    if (!initialized) {
+      const bool changed = !(env == src.env) || !(cells == src.cells) ||
+                           published != src.published;
+      env = src.env;
+      cells = src.cells;
+      published = src.published;
+      initialized = true;
+      return changed;
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      const AV nv = join(env[i], src.env[i]);
+      if (!(nv == env[i])) {
+        env[i] = nv;
+        changed = true;
+      }
+    }
+    // A cell absent from one side's map means that path never stored the
+    // field: the merged field holds unanalyzable bits, so the surviving
+    // value must not cross the merge intact (only its provenance sites
+    // survive, for publication reachability).
+    for (const auto& [key, cell] : src.cells) {
+      auto it = cells.find(key);
+      const AV merged = it == cells.end() ? join(make_unknown(), cell)
+                                          : join(it->second, cell);
+      AV& mine = it == cells.end() ? cells[key] : it->second;
+      if (!(merged == mine)) {
+        mine = merged;
+        changed = true;
+      }
+    }
+    for (auto& [key, cell] : cells) {
+      if (src.cells.find(key) != src.cells.end()) continue;
+      const AV nv = join(cell, make_unknown());
+      if (!(nv == cell)) {
+        cell = nv;
+        changed = true;
+      }
+    }
+    if ((published | src.published) != published) {
+      published |= src.published;
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // The dataflow engine
 // ---------------------------------------------------------------------------
-// The body is a linear instruction list (joins are explicit phis, loops are
-// phis whose operand is defined later). The engine iterates forward passes
-// to a fixpoint: value states and field cells only move up a finite
-// lattice, and the published-site set at each point grows monotonically,
-// so termination is immediate. Verdicts are recorded in one final pass
-// using the per-point published state.
+// Standard worklist iteration: IN states per block, transfer = abstract
+// execution of the block body, OUT pushed along each edge after binding
+// branch arguments to the target's block parameters. All lattices are
+// finite (value classes × 64-bit site sets, cells keyed by sites ×
+// occurring offsets) and every transfer/join is monotone, so the fixpoint
+// terminates. Verdicts are recorded in one final pass over the reachable
+// blocks in reverse postorder using the converged IN states.
 
 class Engine {
  public:
   Engine(const Function& f, const Program* prog, SummaryCache* cache,
          bool param_markers)
-      : f_(f), prog_(prog), cache_(cache) {
-    env_.assign(static_cast<std::size_t>(f.next_value), AV{});
-    def_idx_.assign(static_cast<std::size_t>(f.next_value), -2);
+      : f_(f), cfg_(build_cfg(f)), prog_(prog), cache_(cache) {
+    State entry_in;
+    entry_in.initialized = true;  // seeded below; a loop edge back to the
+                                  // entry block must JOIN, never overwrite
+    entry_in.env.assign(static_cast<std::size_t>(f.next_value), AV{});
     for (std::size_t i = 0; i < f.params.size(); ++i) {
       const auto p = static_cast<std::size_t>(f.params[i]);
-      def_idx_[p] = -1;
-      env_[p] = param_markers && i < 64
-                    ? AV{AV::Cls::kParam, 0, std::uint64_t{1} << i, false}
-                    : make_unknown();
+      entry_in.env[p] = param_markers && i < 64
+                            ? AV{AV::Cls::kParam, 0, std::uint64_t{1} << i,
+                                 false}
+                            : make_unknown();
     }
-    for (std::size_t i = 0; i < f.body.size(); ++i) {
-      const ValueId d = f.body[i].dst;
-      if (d != kNoValue && def_idx_[static_cast<std::size_t>(d)] == -2) {
-        def_idx_[static_cast<std::size_t>(d)] = static_cast<int>(i);
-      }
+    in_.assign(f.blocks.size(), State{});
+    for (State& s : in_) {
+      s.env.assign(static_cast<std::size_t>(f.next_value), AV{});
     }
+    if (!f.blocks.empty()) in_[0] = std::move(entry_in);
   }
 
   void run() {
-    // The lattice height bounds the pass count; the guard is a backstop.
-    for (int i = 0; i < 1000; ++i) {
-      if (!pass(nullptr)) break;
+    if (f_.blocks.empty()) return;
+    // Worklist ordered by RPO index: loop bodies converge before their
+    // exits are reprocessed. Monotone joins bound the iteration count.
+    // Every reachable block is seeded (a block must be processed at least
+    // once even if its IN never moves past the initial bottom join — its
+    // own defs still have to flow to its successors).
+    std::set<int> work;
+    for (int i = 0; i < static_cast<int>(cfg_.rpo.size()); ++i) {
+      work.insert(i);
+    }
+    // Backstop against a lattice bug; the fixpoint converges far earlier.
+    for (int guard = 0; guard < 100000 && !work.empty(); ++guard) {
+      const int rpo_pos = *work.begin();
+      work.erase(work.begin());
+      const BlockId b = cfg_.rpo[static_cast<std::size_t>(rpo_pos)];
+      State out = exec_block(b, in_[static_cast<std::size_t>(b)], nullptr);
+      const BasicBlock& bb = f_.blocks[static_cast<std::size_t>(b)];
+      for_each_edge(bb, [&](const BranchTarget& t) {
+        if (!cfg_.reachable(t.block)) return;
+        State edge = out;  // copy: each edge binds its own branch args
+        bind_args(edge, out, t);
+        if (in_[static_cast<std::size_t>(t.block)].join_from(edge)) {
+          work.insert(cfg_.rpo_index[static_cast<std::size_t>(t.block)]);
+        }
+      });
     }
   }
 
   AnalysisResult result() {
     AnalysisResult res;
-    pass(&res.barriers);
+    for (BlockId b : cfg_.rpo) {
+      (void)exec_block(b, in_[static_cast<std::size_t>(b)], &res.barriers);
+    }
     return res;
   }
 
@@ -138,19 +235,13 @@ class Engine {
     Summary s;
     s.publishes = published_params_;
     s.writes_reachable = wrote_foreign_target_;
-    // Return convention (matches inline_calls): the last defined value.
-    ValueId ret = kNoValue;
-    for (auto it = f_.body.rbegin(); it != f_.body.rend(); ++it) {
-      if (it->dst != kNoValue) {
-        ret = it->dst;
-        break;
-      }
-    }
-    if (ret == kNoValue) return s;
-    const AV& r = env_[static_cast<std::size_t>(ret)];
+    if (!ret_seen_) return s;
+    const AV& r = ret_av_;
     switch (r.cls) {
       case AV::Cls::kCaptured:
-        if (!r.pub && (r.sites & published_end_) == 0) s.ret = Summary::Ret::kFresh;
+        if (!r.pub && (r.sites & ret_published_) == 0) {
+          s.ret = Summary::Ret::kFresh;
+        }
         break;
       case AV::Cls::kParam:
         // Single-parameter pass-through only; a may-be-either value is
@@ -177,49 +268,62 @@ class Engine {
   }
 
  private:
-  std::uint64_t site_bit(std::size_t instr_idx) {
-    auto [it, inserted] = site_ids_.try_emplace(instr_idx, site_ids_.size());
+  template <typename Fn>
+  static void for_each_edge(const BasicBlock& bb, Fn&& fn) {
+    if (bb.term.op == TermOp::kBr || bb.term.op == TermOp::kBrCond) {
+      fn(bb.term.then_);
+    }
+    if (bb.term.op == TermOp::kBrCond) fn(bb.term.els);
+  }
+
+  /// Binds the branch's arguments to the target's parameters in the edge
+  /// state (reading argument values from the branching block's OUT state).
+  void bind_args(State& edge, const State& out, const BranchTarget& t) const {
+    const auto& params = f_.blocks[static_cast<std::size_t>(t.block)].params;
+    for (std::size_t i = 0; i < params.size() && i < t.args.size(); ++i) {
+      const ValueId arg = t.args[i];
+      edge.env[static_cast<std::size_t>(params[i])] =
+          arg == kNoValue ? make_unknown()
+                          : out.env[static_cast<std::size_t>(arg)];
+    }
+  }
+
+  std::uint64_t site_bit(ValueId def) {
+    auto [it, inserted] = site_ids_.try_emplace(def, site_ids_.size());
     return it->second < kMaxSites ? std::uint64_t{1} << it->second : 0;
   }
 
-  AV alloc_value(AV::Cls cls, std::size_t instr_idx) {
-    const std::uint64_t bit = site_bit(instr_idx);
+  AV alloc_value(AV::Cls cls, ValueId def) {
+    const std::uint64_t bit = site_bit(def);
     // Site-id overflow: no bit to track publication with, so pessimize the
     // value to always-demoted instead of risking a missed publication.
     return AV{cls, bit, 0, bit == 0};
   }
 
-  AV operand(ValueId v, int at) const {
+  static AV operand(const State& st, ValueId v) {
     if (v == kNoValue) return make_unknown();
-    AV x = env_[static_cast<std::size_t>(v)];
-    // Back-edge (the definition is textually at or after this use): the
-    // value carried around the loop may have been published in the
-    // previous iteration.
-    if (def_idx_[static_cast<std::size_t>(v)] >= at &&
-        (x.sites & published_end_) != 0) {
-      x.pub = true;
-    }
-    return x;
+    return st.env[static_cast<std::size_t>(v)];
   }
 
-  /// The base points at memory no shared pointer can reach (yet).
-  static bool private_target(const AV& base, std::uint64_t published) {
+  /// The base points at memory no shared pointer can reach (yet) on any
+  /// path into this program point.
+  static bool private_target(const AV& base, const State& st) {
     return tracked(base.cls) && base.sites != 0 && !base.pub &&
-           (base.sites & published) == 0;
+           (base.sites & st.published) == 0;
   }
 
   /// Marks every site the value may point into as published, transitively
   /// publishing whatever was stored inside those sites, and records
   /// escaping parameters.
-  void publish_value(const AV& v, std::uint64_t& published) {
+  void publish_value(const AV& v, State& st) {
     published_params_ |= v.params;
-    std::uint64_t frontier = v.sites & ~published;
+    std::uint64_t frontier = v.sites & ~st.published;
     while (frontier != 0) {
-      published |= frontier;
+      st.published |= frontier;
       std::uint64_t next = 0;
-      for (const auto& [key, cell] : cells_) {
+      for (const auto& [key, cell] : st.cells) {
         if ((std::uint64_t{1} << key.first) & frontier) {
-          next |= cell.sites & ~published;
+          next |= cell.sites & ~st.published;
           published_params_ |= cell.params;
         }
       }
@@ -227,13 +331,9 @@ class Engine {
     }
   }
 
-  void cell_join(int site, std::int64_t off, const AV& v) {
-    AV& cell = cells_[{site, off}];
-    const AV nv = join(cell, v);
-    if (!(nv == cell)) {
-      cell = nv;
-      changed_ = true;
-    }
+  static void cell_join(State& st, int site, std::int64_t off, const AV& v) {
+    AV& cell = st.cells[{site, off}];
+    cell = join(cell, v);
   }
 
   /// A callee that writes through foreign pointers may overwrite any field
@@ -242,32 +342,28 @@ class Engine {
   /// clobber closes over the field cells the same way publish_value does.
   /// Joining with unknown keeps each cell's provenance sites (the join
   /// unions them), so reachability is preserved for later closures.
-  void clobber_reachable_cells(std::uint64_t sites) {
+  static void clobber_reachable_cells(State& st, std::uint64_t sites) {
     std::uint64_t reach = sites;
     for (;;) {
       std::uint64_t next = reach;
-      for (const auto& [key, cell] : cells_) {
+      for (const auto& [key, cell] : st.cells) {
         if ((std::uint64_t{1} << key.first) & reach) next |= cell.sites;
       }
       if (next == reach) break;
       reach = next;
     }
-    for (auto& [key, cell] : cells_) {
+    for (auto& [key, cell] : st.cells) {
       if (((std::uint64_t{1} << key.first) & reach) == 0) continue;
-      const AV nv = join(cell, make_unknown());
-      if (!(nv == cell)) {
-        cell = nv;
-        changed_ = true;
-      }
+      cell = join(cell, make_unknown());
     }
   }
 
-  AccessVerdict access_verdict(const Instr& ins, const AV& base,
-                               std::uint64_t published) const {
+  static AccessVerdict access_verdict(const Instr& ins, const AV& base,
+                                      const State& st) {
     AccessVerdict a;
     a.site = ins.site;
     a.is_store = ins.op == Op::kStore;
-    const bool lost = base.pub || (base.sites & published) != 0;
+    const bool lost = base.pub || (base.sites & st.published) != 0;
     switch (base.cls) {
       case AV::Cls::kCaptured:
         a.verdict = lost ? Verdict::kUnknown : Verdict::kCaptured;
@@ -285,7 +381,7 @@ class Engine {
         break;
       default:
         a.verdict = Verdict::kUnknown;
-        // Mixed provenance (e.g. a phi that merged a capture with a shared
+        // Mixed provenance (e.g. a merge of captured with a shared
         // pointer) counts as demoted: conservatism, not ignorance.
         a.demoted = base.sites != 0 || base.pub;
         break;
@@ -293,21 +389,11 @@ class Engine {
     return a;
   }
 
-  void set_env(ValueId dst, const AV& nv) {
-    if (dst == kNoValue) return;
-    AV& slot = env_[static_cast<std::size_t>(dst)];
-    const AV joined = join(slot, nv);
-    if (!(joined == slot)) {
-      slot = joined;
-      changed_ = true;
-    }
-  }
-
   Summary summary_of(const std::string& callee) {
     if (prog_ == nullptr || cache_ == nullptr) return Summary{};
     if (auto it = cache_->find(callee); it != cache_->end()) return it->second;
     const Function* fn = prog_->find(callee);
-    if (fn == nullptr) return Summary{};
+    if (fn == nullptr || fn->blocks.empty()) return Summary{};
     // Park the opaque summary first so recursion degrades instead of
     // looping.
     cache_->emplace(callee, Summary{});
@@ -318,71 +404,69 @@ class Engine {
     return s;
   }
 
-  bool pass(std::vector<AccessVerdict>* record) {
-    changed_ = false;
-    std::uint64_t published = 0;
-    for (std::size_t i = 0; i < f_.body.size(); ++i) {
-      const Instr& ins = f_.body[i];
-      const int at = static_cast<int>(i);
+  /// Abstract execution of one block from state @p in; returns the OUT
+  /// state. With @p record set, appends one AccessVerdict per load/store.
+  State exec_block(BlockId b, const State& in,
+                   std::vector<AccessVerdict>* record) {
+    State st = in;
+    const BasicBlock& bb = f_.blocks[static_cast<std::size_t>(b)];
+    for (const Instr& ins : bb.body) {
       switch (ins.op) {
         case Op::kTxAlloc:
-          set_env(ins.dst, alloc_value(AV::Cls::kCaptured, i));
+          set_env(st, ins.dst, alloc_value(AV::Cls::kCaptured, ins.dst));
           break;
         case Op::kAllocaTx:
-          set_env(ins.dst, alloc_value(AV::Cls::kStack, i));
+          set_env(st, ins.dst, alloc_value(AV::Cls::kStack, ins.dst));
           break;
         case Op::kAllocaPre:
         case Op::kUnknown:
-          set_env(ins.dst, make_unknown());
+          set_env(st, ins.dst, make_unknown());
           break;
         case Op::kStaticAddr:
-          set_env(ins.dst, AV{AV::Cls::kStatic, 0, 0, false});
+          set_env(st, ins.dst, AV{AV::Cls::kStatic, 0, 0, false});
           break;
         case Op::kPrivAddr:
-          set_env(ins.dst, AV{AV::Cls::kPrivate, 0, 0, false});
+          set_env(st, ins.dst, AV{AV::Cls::kPrivate, 0, 0, false});
           break;
         case Op::kGep:
         case Op::kMove:
-          set_env(ins.dst, operand(ins.a, at));
-          break;
-        case Op::kPhi:
-          set_env(ins.dst, join(operand(ins.a, at), operand(ins.b, at)));
+          set_env(st, ins.dst, operand(st, ins.a));
           break;
         case Op::kLoad: {
-          const AV base = operand(ins.a, at);
+          const AV base = operand(st, ins.a);
           if (record != nullptr) {
-            record->push_back(access_verdict(ins, base, published));
+            record->push_back(access_verdict(ins, base, st));
           }
           AV v = make_unknown();
-          if (private_target(base, published)) {
+          if (private_target(base, st)) {
             // Join of everything stored into the pointed-to field across
             // the sites the base may name; a field never stored through a
             // tracked pointer holds unanalyzable bits.
             v = AV{};
             for (int s = 0; s < kMaxSites; ++s) {
               if ((base.sites & (std::uint64_t{1} << s)) == 0) continue;
-              auto it = cells_.find({s, ins.offset});
-              v = join(v, it == cells_.end() ? make_unknown() : it->second);
+              auto it = st.cells.find({s, ins.offset});
+              v = join(v, it == st.cells.end() ? make_unknown() : it->second);
             }
             if (v.cls == AV::Cls::kBottom) v = make_unknown();
           }
-          set_env(ins.dst, v);
+          set_env(st, ins.dst, v);
           break;
         }
         case Op::kStore: {
-          const AV base = operand(ins.a, at);
-          const AV val = operand(ins.b, at);
+          const AV base = operand(st, ins.a);
+          const AV val = operand(st, ins.b);
           if (record != nullptr) {
-            record->push_back(access_verdict(ins, base, published));
+            record->push_back(access_verdict(ins, base, st));
           }
           if (base.cls == AV::Cls::kBottom) break;  // unreachable so far
           // A stored parameter may end up reachable from the caller (via
           // shared memory or a returned object): treat it as escaping.
           published_params_ |= val.params;
-          if (private_target(base, published)) {
+          if (private_target(base, st)) {
             for (int s = 0; s < kMaxSites; ++s) {
               if ((base.sites & (std::uint64_t{1} << s)) != 0) {
-                cell_join(s, ins.offset, val);
+                cell_join(st, s, ins.offset, val);
               }
             }
           } else if (val.cls != AV::Cls::kBottom) {
@@ -390,13 +474,13 @@ class Engine {
             // memory (summaries report this to callers as writes_reachable).
             wrote_foreign_target_ = true;
             // The stored pointer may become shared: published.
-            publish_value(val, published);
-            // A mixed-provenance base (phi of captured and shared) may
+            publish_value(val, st);
+            // A mixed-provenance base (merge of captured and shared) may
             // still write into a tracked site: its field must absorb the
             // value so later loads cannot resurrect a stale proof.
             for (int s = 0; s < kMaxSites; ++s) {
               if ((base.sites & (std::uint64_t{1} << s)) != 0) {
-                cell_join(s, ins.offset, val);
+                cell_join(st, s, ins.offset, val);
               }
             }
           }
@@ -410,23 +494,23 @@ class Engine {
           if (s.writes_reachable) wrote_foreign_target_ = true;
           AV result = make_unknown();
           for (std::size_t j = 0; j < ins.args.size(); ++j) {
-            const AV arg = operand(ins.args[j], at);
+            const AV arg = operand(st, ins.args[j]);
             if (arg.cls == AV::Cls::kBottom) continue;
             // Arguments past the bitmask width are treated as opaque:
             // always published.
             if (j >= 64 || (s.publishes & (std::uint64_t{1} << j)) != 0) {
-              publish_value(arg, published);
+              publish_value(arg, st);
             }
             published_params_ |= arg.params;  // callee may store it anywhere
-            if (s.writes_reachable) clobber_reachable_cells(arg.sites);
+            if (s.writes_reachable) clobber_reachable_cells(st, arg.sites);
           }
           switch (s.ret) {
             case Summary::Ret::kFresh:
-              result = alloc_value(AV::Cls::kCaptured, i);
+              result = alloc_value(AV::Cls::kCaptured, ins.dst);
               break;
             case Summary::Ret::kParam:
               if (s.ret_param < ins.args.size()) {
-                result = operand(ins.args[s.ret_param], at);
+                result = operand(st, ins.args[s.ret_param]);
               }
               break;
             case Summary::Ret::kStatic:
@@ -438,31 +522,40 @@ class Engine {
             case Summary::Ret::kUnknown:
               break;
           }
-          set_env(ins.dst, result);
+          set_env(st, ins.dst, result);
           break;
         }
       }
     }
-    if (published != published_end_) {
-      published_end_ |= published;
-      changed_ = true;
+    if (bb.term.op == TermOp::kRet) {
+      ret_seen_ = true;
+      ret_av_ = join(ret_av_, operand(st, bb.term.ret));
+      ret_published_ |= st.published;
     }
-    return changed_;
+    return st;
+  }
+
+  static void set_env(State& st, ValueId dst, const AV& nv) {
+    if (dst == kNoValue) return;
+    // Straight-line redefinition within the fixpoint: join keeps the state
+    // monotone across repeated executions of the same block.
+    AV& slot = st.env[static_cast<std::size_t>(dst)];
+    slot = join(slot, nv);
   }
 
   const Function& f_;
+  const Cfg cfg_;
   const Program* prog_;
   SummaryCache* cache_;
-  std::vector<AV> env_;
-  std::vector<int> def_idx_;  // -1 = parameter, -2 = never defined
-  std::map<std::pair<int, std::int64_t>, AV> cells_;
-  std::unordered_map<std::size_t, std::size_t> site_ids_;
-  std::uint64_t published_end_ = 0;
+  std::vector<State> in_;
+  std::unordered_map<ValueId, std::size_t> site_ids_;
   std::uint64_t published_params_ = 0;
   /// Stored through a pointer that is not provably this function's own
   /// unpublished tx-local memory (or called something that may have).
   bool wrote_foreign_target_ = false;
-  bool changed_ = false;
+  AV ret_av_;
+  std::uint64_t ret_published_ = 0;
+  bool ret_seen_ = false;
 };
 
 }  // namespace
@@ -524,6 +617,7 @@ AnalysisStats AnalysisResult::stats() const {
 // ---------------------------------------------------------------------------
 
 AnalysisResult analyze(const Function& f) {
+  if (f.blocks.empty()) return AnalysisResult{};
   Engine e(f, nullptr, nullptr, /*param_markers=*/false);
   e.run();
   return e.result();
@@ -532,7 +626,7 @@ AnalysisResult analyze(const Function& f) {
 AnalysisResult analyze(const Program& p, const std::string& entry,
                        int inline_depth) {
   const Function* f = p.find(entry);
-  if (f == nullptr) return AnalysisResult{};
+  if (f == nullptr || f->blocks.empty()) return AnalysisResult{};
   SummaryCache cache;
   if (inline_depth > 0) {
     const Function inlined = inline_calls(p, *f, inline_depth);

@@ -2,13 +2,30 @@
 // paper's flow-insensitive two-point analysis into the pipeline that feeds
 // the typed API's Site verdicts).
 //
-// The analysis is flow-sensitive and interprocedural. Per value it tracks
-// an abstract pointer: a capture class plus the set of allocation sites it
-// may point into; per captured/stack allocation site it additionally
-// tracks the abstract contents of each field (so a pointer stored into
-// captured memory and loaded back keeps its classification). Each
-// load/store access site receives a Verdict from the same lattice the
-// runtime Site descriptors use (stm/site.hpp):
+// The analysis is flow- and path-sensitive and interprocedural: a worklist
+// dataflow over the function's basic blocks. Each block has an IN abstract
+// state (per-value abstract pointers, per-allocation-site field cells, and
+// the set of allocation sites that may already be published on some path
+// reaching the block); the transfer function executes the block and pushes
+// the OUT state along each CFG edge, binding branch arguments to the
+// target's block parameters. States from multiple predecessors JOIN at the
+// target (pointwise value join, field-cell join, publication-set union),
+// so a store that publishes a captured pointer on one branch demotes
+// accesses at and after the merge but leaves the non-publishing branch's
+// own accesses proven. Loops need no special casing: publication inside a
+// loop body flows around the back-edge into the loop head's IN state and
+// the worklist iterates to a fixpoint (the lattice is finite and all
+// transfer functions are monotone) — which is exactly the loop-carried
+// publication rule the old linear IR approximated with a phi-back-edge
+// textual check. Irreducible CFGs (multi-entry loops) degrade
+// conservatively through the same join: merged states only ever grow.
+//
+// Per value the engine tracks an abstract pointer: a capture class plus
+// the set of allocation sites it may point into; per captured/stack
+// allocation site it additionally tracks the abstract contents of each
+// field (so a pointer stored into captured memory and loaded back keeps
+// its classification). Each load/store access site receives a Verdict
+// from the same lattice the runtime Site descriptors use (stm/site.hpp):
 //
 //   kCaptured — heap memory allocated since the transaction started
 //   kStack    — a stack slot created inside the atomic block
@@ -28,8 +45,9 @@
 //    runtime filters (alloc log, stack range) keep eliding such accesses;
 //    only the static proof is withdrawn. Flow-sensitivity is what keeps
 //    the common STAMP shape (initialize fields, then link) fully proven:
-//    the inits precede the publication.
-//  * Alias merges: a phi joining captured and unknown inputs is unknown.
+//    the inits precede the publication on every path that reaches them.
+//  * Alias merges: a block parameter (phi) joining captured and unknown
+//    inputs is unknown.
 //  * Loads: a value loaded from shared, published, static, or private
 //    memory is opaque (the bits could be any pointer). Loads from
 //    *unpublished* captured memory return the join of everything stored
@@ -55,7 +73,8 @@
 
 namespace cstm::txir {
 
-/// One load/store access site occurrence, in body order.
+/// One load/store access site occurrence (blocks in reverse postorder,
+/// body order within a block; unreachable blocks are not analyzed).
 struct AccessVerdict {
   std::string site;  // site label of the load/store
   bool is_store = false;
@@ -82,7 +101,8 @@ struct AnalysisStats {
 };
 
 struct AnalysisResult {
-  std::vector<AccessVerdict> barriers;  // one per load/store, body order
+  std::vector<AccessVerdict> barriers;  // one per reachable load/store, in
+                                        // RPO-block / body order
 
   /// The verdict all occurrences of the named site agree on (kUnknown when
   /// the site never appears or occurrences disagree).

@@ -17,7 +17,7 @@ Program stamp_kernels() {
     const ValueId n = b.param();
     const ValueId v = b.txalloc();
     b.store(v, 0, n, "pvector.init.size");
-    b.move(v);  // "return" the vector (last-def convention)
+    b.ret(v);
   }
 
   // Read-only tree probe: loads through its parameters but never stores
@@ -31,7 +31,7 @@ Program stamp_kernels() {
     (void)key;
     const ValueId root = b.load(table, 0, "tfind.root.read");
     const ValueId node = b.load(root, 16, "tfind.node.read");
-    b.move(node);
+    b.ret(node);
   }
 
   // Publishing helper: stores its second parameter through the first. The
@@ -42,6 +42,7 @@ Program stamp_kernels() {
     const ValueId slot = b.param();
     const ValueId ptr = b.param();
     b.store(slot, 0, ptr, "helper.publish");
+    b.ret();
   }
 
   // ==== Figure 1 / container shapes =========================================
@@ -60,21 +61,38 @@ Program stamp_kernels() {
     const ValueId head = b.load(list, 0, "list.head.read");
     b.store(node, 8, head, "list.node.init.next");
     b.store(list, 0, node, "list.link");
+    b.ret();
   }
 
-  // iter_loop: Figure 1(a): a list iterator allocated on the stack inside
-  // the transaction, advanced around a loop phi; iterator-state accesses
-  // are stack-captured, node accesses through loaded pointers are not.
+  // iter_loop: Figure 1(a) as a real loop. The list iterator lives in a
+  // stack slot allocated inside the transaction; the loop header tests the
+  // current node and the body advances the iterator around a back-edge.
+  // Iterator-state accesses are stack-captured on every iteration; node
+  // accesses through loaded pointers are not.
   {
     Function& f = p.add("iter_loop");
     FunctionBuilder b(f);
     const ValueId list = b.param();
+    const BlockId loop = b.block("loop");
+    const BlockId body = b.block("body");
+    const BlockId exit = b.block("exit");
+
     const ValueId it = b.alloca_tx();
     const ValueId head = b.load(list, 0, "iter.list.head");
     b.store(it, 0, head, "iter.init");
+    b.br(loop);
+
+    b.set_block(loop);
     const ValueId cur = b.load(it, 0, "iter.cur.read");
+    b.br_cond(cur, body, exit);
+
+    b.set_block(body);
     const ValueId next = b.load(cur, 8, "iter.node.next");
     b.store(it, 0, next, "iter.advance");
+    b.br(loop);  // back-edge: loop dominates body
+
+    b.set_block(exit);
+    b.ret();
   }
 
   // ==== vacation table ops ==================================================
@@ -96,69 +114,172 @@ Program stamp_kernels() {
     const ValueId root = b.load(table, 0, "vacation.tree.root.read");
     const ValueId child = b.load(root, 16, "vacation.tree.child.read");
     b.store(child, 24, r, "vacation.tree.attach");
+    b.ret();
   }
 
-  // vacation_reserve (task_make_reservation): the thread-private query
-  // vector of Figure 1(b) — declared private, so priv_addr — plus stack
-  // scratch (found/best_price) and a read-only probe into the shared tree
-  // through the table_find helper. The helper's summary publishes nothing,
-  // so the scratch stays provable across the call.
+  // vacation_reserve (task_make_reservation): the real reservation-check
+  // DIAMOND. The thread-private query vector of Figure 1(b) (priv_addr)
+  // and the found/best_price stack scratch feed a probe of the shared
+  // tree; a fresh Reservation record is allocated and priced before the
+  // branch. If the reservation is available the record is attached to the
+  // shared tree (publication); otherwise the record stays transaction-
+  // local and its cancellation field is written IN PLACE — a store the
+  // old linear IR had to demote (the attach preceded it textually) but
+  // path-sensitive analysis proves: no path reaching it publishes the
+  // record. After the merge the record may be published, so the merge
+  // store demotes; the stack scratch is never published and stays proven
+  // on every path.
   {
     Function& f = p.add("vacation_reserve");
     FunctionBuilder b(f);
     const ValueId table = b.param();
+    const BlockId book = b.block("book");
+    const BlockId skip = b.block("skip");
+    const BlockId merge = b.block("merge");
+
     const ValueId qv = b.priv_addr();
     const ValueId rid = b.unknown();  // rng output
     b.store(qv, 0, rid, "vacation.query.write");
     const ValueId id = b.load(qv, 0, "vacation.query.read");
+    b.store(qv, 8, rid, "vacation.query.write2");
+    (void)b.load(qv, 8, "vacation.query.read2");
     const ValueId found = b.alloca_tx();
     b.store(found, 0, rid, "vacation.scratch.init");
+    const ValueId best = b.alloca_tx();
+    b.store(best, 0, rid, "vacation.best.init");
+    const ValueId r = b.txalloc();
+    b.store(r, 0, rid, "vacation.res.init.price");
     const ValueId res = b.call("table_find", {table, id});
-    const ValueId free = b.load(res, 8, "vacation.res.read");
-    b.store(found, 0, free, "vacation.scratch.update");
+    const ValueId ok = b.load(res, 8, "vacation.res.read");
+    b.br_cond(ok, book, skip);
+
+    b.set_block(book);
+    const ValueId root = b.load(table, 0, "vacation.tree.root.read");
+    b.store(root, 24, r, "vacation.tree.attach");  // publishes r
+    b.store(best, 0, ok, "vacation.best.book");
+    b.br(merge);
+
+    b.set_block(skip);
+    b.store(r, 8, rid, "vacation.res.cancel");  // proven: only the sibling
+                                                // path publishes r
+    b.store(best, 0, rid, "vacation.best.skip");
+    b.br(merge);
+
+    b.set_block(merge);
+    b.store(r, 16, rid, "vacation.res.merge");  // demoted: join of paths
+    const ValueId bp = b.load(best, 0, "vacation.best.read");
+    b.store(found, 0, bp, "vacation.scratch.update");
+    b.ret();
   }
 
   // ==== genome segment dedup ================================================
 
-  // genome_dedup_insert (TxHashtable::insert): chain node initialized
-  // in-tx (captured), linked into the bucket (publication), then bumped
-  // once more — the bump happens *after* the link, so the analysis must
-  // withdraw the static proof there (the runtime alloc-log still elides
-  // it; only the zero-probe static path refuses).
+  // genome_dedup_insert (TxHashtable::insert) with the real found/not-found
+  // control flow: hash the segment against the immutable gene table
+  // (static read), walk the bucket chain in a block-param loop, and either
+  // bump the existing node (through a loaded pointer — never elidable) or
+  // allocate + initialize + link a fresh chain node. The inits on the miss
+  // path stay proven; the bump AFTER the link demotes on that same path
+  // (the runtime alloc-log still elides it; only the zero-probe static
+  // path refuses).
   {
     Function& f = p.add("genome_dedup_insert");
     FunctionBuilder b(f);
     const ValueId table = b.param();
     const ValueId seg = b.param();
+    const BlockId loop = b.block("loop");
+    const BlockId check = b.block("check");
+    const BlockId step = b.block("step");
+    const BlockId hit = b.block("hit");
+    const BlockId miss = b.block("miss");
+    const ValueId cur = b.block_param(loop);
+
+    const ValueId g = b.static_addr();
+    (void)b.load(g, 0, "genome.gene.read");  // hash input: static table
+    const ValueId head = b.load(table, 0, "genome.bucket.head.read");
+    b.br(loop, {head});
+
+    b.set_block(loop);
+    b.br_cond(cur, check, miss);
+
+    b.set_block(check);
+    const ValueId k = b.load(cur, 0, "genome.chain.key.read");
+    b.br_cond(k, hit, step);
+
+    b.set_block(step);
+    const ValueId nxt = b.load(cur, 16, "genome.chain.next.read");
+    b.br(loop, {nxt});  // back-edge with a block argument
+
+    b.set_block(hit);
+    b.store(cur, 8, seg, "genome.hit.bump");
+    b.ret();
+
+    b.set_block(miss);
     const ValueId node = b.txalloc();
     b.store(node, 0, seg, "genome.node.init.key");
     b.store(node, 8, seg, "genome.node.init.count");
-    const ValueId head = b.load(table, 0, "genome.bucket.head.read");
     b.store(node, 16, head, "genome.node.init.next");
     b.store(table, 0, node, "genome.bucket.link");
     b.store(node, 8, seg, "genome.count.bump");
+    b.ret();
   }
 
   // ==== vector grow-and-copy (Figure 1(b) / TxVector::push_back) ============
 
-  // The new backing store comes from an allocator helper; the copy into it
-  // is captured. Publishing the new store into the vector's data field
-  // happens before the element store (matching TxVector::push_back order),
-  // so the element store demotes — the runtime heap filter is what elides
-  // it, exactly the paper's division of labor.
+  // The real grow BRANCH plus the copy LOOP. Fast path: store the element
+  // through the loaded data pointer (shared — the runtime handles it).
+  // Grow path: the new backing store comes from an allocator helper
+  // (provable both by summary at depth 0 and by inlining); the element
+  // copy advances a cursor around a back-edge — a loop-carried pointer
+  // into memory that is published only AFTER the loop exits. The old
+  // linear IR's phi-back-edge rule had to demote every loop-carried store
+  // whose site gets published anywhere; the CFG analysis proves the loop
+  // body (publication cannot flow backwards along any path) and still
+  // demotes the post-publish element store, exactly the paper's division
+  // of labor with the runtime heap filter.
   {
     Function& f = p.add("vector_grow_push");
     FunctionBuilder b(f);
     const ValueId vec = b.param();
     const ValueId v = b.param();
+    const BlockId fast = b.block("fast");
+    const BlockId grow = b.block("grow");
+    const BlockId copy = b.block("copy");
+    const BlockId growdone = b.block("growdone");
+    const BlockId done = b.block("done");
+    const ValueId dst = b.block_param(copy);
+
     const ValueId n = b.load(vec, 8, "vector.size.read");
-    const ValueId olddata = b.load(vec, 0, "vector.data.read");
+    const ValueId cap = b.load(vec, 16, "vector.cap.read");
+    b.br_cond(cap, fast, grow);  // stand-in for size < capacity
+
+    b.set_block(fast);
+    const ValueId data = b.load(vec, 0, "vector.data.read");
+    b.store(data, 0, v, "vector.elem.store");
+    b.br(done);
+
+    b.set_block(grow);
     const ValueId bigger = b.call("pvector_alloc", {n});
+    b.store(bigger, 24, n, "vector.newcap.write");
+    const ValueId olddata = b.load(vec, 0, "vector.olddata.read");
+    b.br(copy, {bigger});
+
+    b.set_block(copy);
     const ValueId e = b.load(olddata, 0, "vector.copy.read");
-    b.store(bigger, 8, e, "vector.copy.init");
+    b.store(dst, 0, e, "vector.copy.init");  // proven: published only after
+                                             // the loop, on no path back in
+    const ValueId d2 = b.gep(dst, 8);
+    const ValueId more = b.unknown();  // stand-in for cursor != end
+    b.br_cond(more, copy, {d2}, growdone, {});
+
+    b.set_block(growdone);
     b.store(vec, 0, bigger, "vector.data.publish");
-    b.store(bigger, 16, v, "vector.elem.post_publish");
+    b.store(bigger, 16, v, "vector.elem.post_publish");  // demoted
+    b.br(done);
+
+    b.set_block(done);
     b.store(vec, 8, n, "vector.size.write");
+    b.ret();
   }
 
   // ==== precision / soundness shapes ========================================
@@ -170,9 +291,11 @@ Program stamp_kernels() {
     FunctionBuilder b(f);
     const ValueId center = b.param();
     const ValueId delta = b.param();
+    (void)delta;
     const ValueId old = b.load(center, 0, "kmeans.center.read");
-    const ValueId sum = b.phi(old, delta);  // stand-in for arithmetic
+    const ValueId sum = b.move(old);  // stand-in for arithmetic
     b.store(center, 0, sum, "kmeans.center.write");
+    b.ret();
   }
 
   // pre_tx_buffer: a stack buffer that pre-exists the transaction holds
@@ -180,23 +303,52 @@ Program stamp_kernels() {
   {
     Function& f = p.add("pre_tx_buffer");
     FunctionBuilder b(f);
-    const ValueId buf = b.alloca_pre();
     const ValueId v = b.param();
+    const ValueId buf = b.alloca_pre();
     b.store(buf, 0, v, "pretx.store");
+    b.ret();
   }
 
-  // phi_merge: both sides of a join allocate in-tx => still captured; one
-  // shared side is an alias merge that kills the proof (demotion).
+  // branch_merge: two diamonds over block-argument joins. Both sides of
+  // the first join allocate in-tx => still captured; the second joins a
+  // capture with a shared parameter — an alias merge that kills the proof
+  // (demotion).
   {
-    Function& f = p.add("phi_merge");
+    Function& f = p.add("branch_merge");
     FunctionBuilder b(f);
     const ValueId shared = b.param();
+    const BlockId la = b.block("left.a");
+    const BlockId ra = b.block("right.a");
+    const BlockId m1 = b.block("merge.captured");
+    const BlockId lb = b.block("left.b");
+    const BlockId rb = b.block("right.b");
+    const BlockId m2 = b.block("merge.mixed");
+    const ValueId both = b.block_param(m1);
+    const ValueId mixed = b.block_param(m2);
+
     const ValueId x = b.txalloc();
     const ValueId y = b.txalloc();
-    const ValueId both = b.phi(x, y);
-    b.store(both, 0, shared, "phi.both.captured");
-    const ValueId mixed = b.phi(x, shared);
-    b.store(mixed, 0, shared, "phi.mixed");
+    const ValueId c = b.unknown();
+    b.br_cond(c, la, ra);
+
+    b.set_block(la);
+    b.br(m1, {x});
+    b.set_block(ra);
+    b.br(m1, {y});
+
+    b.set_block(m1);
+    b.store(both, 0, shared, "join.both.captured");
+    const ValueId c2 = b.unknown();
+    b.br_cond(c2, lb, rb);
+
+    b.set_block(lb);
+    b.br(m2, {x});
+    b.set_block(rb);
+    b.br(m2, {shared});
+
+    b.set_block(m2);
+    b.store(mixed, 0, shared, "join.mixed");
+    b.ret();
   }
 
   // escape_via_call: the publishing helper's summary makes the escape
@@ -210,6 +362,7 @@ Program stamp_kernels() {
     b.store(x, 0, slot, "escape.init");
     (void)b.call("publish_to", {slot, x});
     b.store(x, 8, slot, "escape.after_call");
+    b.ret();
   }
 
   // no_escape_call: same shape, but the callee only reads — the summary
@@ -223,6 +376,7 @@ Program stamp_kernels() {
     b.store(y, 0, slot, "noescape.init");
     (void)b.call("table_find", {y, slot});
     b.store(y, 8, slot, "noescape.after_call");
+    b.ret();
   }
 
   // opaque_escape: an unknown callee may publish any pointer argument.
@@ -234,6 +388,7 @@ Program stamp_kernels() {
     b.store(z, 0, slot, "opaque.init");
     (void)b.call("extern_fn", {z});
     b.store(z, 8, slot, "opaque.after_call");
+    b.ret();
   }
 
   // static_data_read: immutable static tables (genome's gene string,
@@ -244,6 +399,7 @@ Program stamp_kernels() {
     const ValueId g = b.static_addr();
     const ValueId v = b.load(g, 0, "static.read");
     b.store(g, 0, v, "static.write");
+    b.ret();
   }
 
   // cell_roundtrip: a captured pointer stored into captured memory and
@@ -256,6 +412,7 @@ Program stamp_kernels() {
     b.store(outer, 0, inner, "cell.store.inner");
     const ValueId w = b.load(outer, 0, "cell.load.inner");
     b.store(w, 0, inner, "cell.write.through");
+    b.ret();
   }
 
   // cell_publish_closure: publishing an object transitively publishes
@@ -269,6 +426,7 @@ Program stamp_kernels() {
     b.store(outer, 0, inner, "closure.store.inner");
     b.store(slot, 0, outer, "closure.publish.outer");
     b.store(inner, 0, slot, "closure.inner.after");
+    b.ret();
   }
 
   return p;
@@ -299,34 +457,66 @@ std::vector<KernelExpectation> stamp_kernel_expectations() {
         {"vacation.tree.root.read", V::kUnknown, false, false},
         {"vacation.tree.child.read", V::kUnknown, false, false},
         {"vacation.tree.attach", V::kUnknown, false, false}}},
+      // The reservation diamond: the skip path's in-place cancellation
+      // store is PROVEN (publication happens only on the sibling path);
+      // the post-merge store demotes; stack/private scratch is proven on
+      // every path including both branch bodies.
       {"vacation_reserve",
        0,
        {{"vacation.query.write", V::kPrivate, true, false},
         {"vacation.query.read", V::kPrivate, true, false},
+        {"vacation.query.write2", V::kPrivate, true, false},
+        {"vacation.query.read2", V::kPrivate, true, false},
         {"vacation.scratch.init", V::kStack, true, false},
-        {"vacation.scratch.update", V::kStack, true, false},
-        {"vacation.res.read", V::kUnknown, false, false}}},
+        {"vacation.best.init", V::kStack, true, false},
+        {"vacation.res.init.price", V::kCaptured, true, false},
+        {"vacation.res.read", V::kUnknown, false, false},
+        {"vacation.tree.root.read", V::kUnknown, false, false},
+        {"vacation.tree.attach", V::kUnknown, false, false},
+        {"vacation.best.book", V::kStack, true, false},
+        {"vacation.res.cancel", V::kCaptured, true, false},
+        {"vacation.best.skip", V::kStack, true, false},
+        {"vacation.res.merge", V::kUnknown, false, true},
+        {"vacation.best.read", V::kStack, true, false},
+        {"vacation.scratch.update", V::kStack, true, false}}},
       // With inlining the helper's own loads join the caller's site list
-      // and stay barriers (they probe the shared tree).
+      // and stay barriers (they probe the shared tree); the branch
+      // verdicts are unchanged.
       {"vacation_reserve",
        2,
        {{"vacation.scratch.update", V::kStack, true, false},
+        {"vacation.res.cancel", V::kCaptured, true, false},
+        {"vacation.res.merge", V::kUnknown, false, true},
         {"tfind.root.read", V::kUnknown, false, false},
         {"tfind.node.read", V::kUnknown, false, false}}},
+      // The dedup diamond + chain-walk loop: miss-path inits proven, the
+      // post-link bump demoted, every access through the loop-carried
+      // chain pointer kept.
       {"genome_dedup_insert",
        0,
-       {{"genome.node.init.key", V::kCaptured, true, false},
+       {{"genome.gene.read", V::kStatic, true, false},
+        {"genome.bucket.head.read", V::kUnknown, false, false},
+        {"genome.chain.key.read", V::kUnknown, false, false},
+        {"genome.chain.next.read", V::kUnknown, false, false},
+        {"genome.hit.bump", V::kUnknown, false, false},
+        {"genome.node.init.key", V::kCaptured, true, false},
         {"genome.node.init.count", V::kCaptured, true, false},
         {"genome.node.init.next", V::kCaptured, true, false},
-        {"genome.bucket.head.read", V::kUnknown, false, false},
         {"genome.bucket.link", V::kUnknown, false, false},
         {"genome.count.bump", V::kUnknown, false, true}}},
       // Summary-based: the allocator helper's return is a fresh capture
-      // even without inlining.
+      // even without inlining. The copy-loop store is proven — the new
+      // backing store is published only after the loop, and publication
+      // cannot flow backwards along any path (the old linear phi-back-edge
+      // rule had to demote this site).
       {"vector_grow_push",
        0,
        {{"vector.size.read", V::kUnknown, false, false},
+        {"vector.cap.read", V::kUnknown, false, false},
         {"vector.data.read", V::kUnknown, false, false},
+        {"vector.elem.store", V::kUnknown, false, false},
+        {"vector.newcap.write", V::kCaptured, true, false},
+        {"vector.olddata.read", V::kUnknown, false, false},
         {"vector.copy.read", V::kUnknown, false, false},
         {"vector.copy.init", V::kCaptured, true, false},
         {"vector.data.publish", V::kUnknown, false, false},
@@ -343,10 +533,10 @@ std::vector<KernelExpectation> stamp_kernel_expectations() {
        {{"kmeans.center.read", V::kUnknown, false, false},
         {"kmeans.center.write", V::kUnknown, false, false}}},
       {"pre_tx_buffer", 0, {{"pretx.store", V::kUnknown, false, false}}},
-      {"phi_merge",
+      {"branch_merge",
        0,
-       {{"phi.both.captured", V::kCaptured, true, false},
-        {"phi.mixed", V::kUnknown, false, true}}},
+       {{"join.both.captured", V::kCaptured, true, false},
+        {"join.mixed", V::kUnknown, false, true}}},
       {"escape_via_call",
        0,
        {{"escape.init", V::kCaptured, true, false},

@@ -9,12 +9,16 @@
 // refuses (publication, aliasing, escape) keeps its barrier.
 //
 // The kernel set covers the paper's Figure 1 patterns plus the shapes that
-// exercise each analysis feature: vacation's table update and reservation
-// (tx_new + field init + tree attach; private query vector + stack
-// scratch), genome's segment dedup insert (chain-node init, bucket link,
-// then a post-publication update that must demote), and the vector
-// grow-and-copy of Figure 1(b) lowered through an allocator helper that is
-// provable both by summary (inline depth 0) and by inlining.
+// exercise each analysis feature — with the real control flow, not a
+// linearized approximation: vacation's reservation check is a genuine
+// branch diamond (attach-to-tree on one path, in-place cancellation on the
+// other), genome's segment dedup walks its bucket chain in a block-param
+// loop before the found/not-found diamond, and the vector grow-and-copy of
+// Figure 1(b) has the real grow branch plus a cursor-advancing copy loop,
+// lowered through an allocator helper that is provable both by summary
+// (inline depth 0) and by inlining. Several sites in these kernels are
+// provable ONLY under path-sensitive analysis (see the expectation table's
+// comments) — they are the regression guard for the CFG dataflow.
 #pragma once
 
 #include <string>
