@@ -35,6 +35,48 @@ def load(path):
         return json.load(f)
 
 
+def compare_scaling(committed, fresh, tolerance, violations, lines):
+    """Advisory comparison of BENCH_scaling.json records.
+
+    Schema (written by `bench_fig11a_scal_configs --scaling --json ...`):
+      {"experiment": "scaling", "scale": S, "reps": N, "seed": X,
+       "threads": [1, 2, ...],
+       "rows": [{"app": "...", "config": "...", "seconds": [...]}, ...]}
+
+    Each (app, config) row's per-thread-count seconds must agree within the
+    same ratio tolerance as the baseline comparison. Thread-count lists
+    must match exactly — a sweep recorded on a different box shape is a
+    different experiment, not a regression.
+    """
+    if committed.get("threads") != fresh.get("threads"):
+        violations.append(
+            f"scaling: thread counts differ (committed {committed.get('threads')}"
+            f" vs fresh {fresh.get('threads')}); record both on the same box"
+        )
+        return
+    counts = committed.get("threads", [])
+    committed_rows = {(r["app"], r["config"]): r for r in committed["rows"]}
+    fresh_rows = {(r["app"], r["config"]): r for r in fresh["rows"]}
+    for key, crow in committed_rows.items():
+        frow = fresh_rows.get(key)
+        app_cfg = f"{key[0]}/{key[1]}"
+        if frow is None:
+            violations.append(f"scaling/{app_cfg}: missing from fresh run")
+            continue
+        for t, csec, fsec in zip(counts, crow["seconds"], frow["seconds"]):
+            ratio = fsec / csec if csec > 0 else float("inf")
+            ok = 1.0 / (1.0 + tolerance / 100.0) <= ratio <= 1.0 + tolerance / 100.0
+            if not ok:
+                violations.append(
+                    f"scaling/{app_cfg}@{t}T: {fsec:.4f}s vs committed "
+                    f"{csec:.4f}s (x{ratio:.2f})"
+                )
+            lines.append(
+                f"  scaling  {app_cfg:27s} {t:3d}T "
+                f"{csec:8.4f}s -> {fsec:8.4f}s  (x{ratio:.2f})"
+            )
+
+
 def compare_rows(name, committed, fresh, tolerance, violations, lines):
     committed_rows = {r["app"]: r for r in committed["rows"]}
     fresh_rows = {r["app"]: r for r in fresh["rows"]}
@@ -108,6 +150,21 @@ def main():
                  violations, lines)
     compare_rows("fig11b", c11["fig11b"], fresh11["fig11b"], args.tolerance,
                  violations, lines)
+
+    # BENCH_scaling.json is optional until a multi-core box records it: the
+    # schema is wired now so that first session only has to run the sweep.
+    committed_scaling = os.path.join(REPO, "BENCH_scaling.json")
+    fresh_scaling = os.path.join(out_dir, "BENCH_scaling.json")
+    if os.path.exists(committed_scaling):
+        if os.path.exists(fresh_scaling):
+            compare_scaling(load(committed_scaling), load(fresh_scaling),
+                            args.tolerance, violations, lines)
+        else:
+            print("bench_gate: committed BENCH_scaling.json present but the "
+                  "fresh run produced none; skipping (advisory)")
+    else:
+        print("bench_gate: no committed BENCH_scaling.json (expected until a "
+              "multi-core box records one); skipping scaling comparison")
 
     print("bench_gate: committed -> fresh improvement percentages:")
     print("\n".join(lines))

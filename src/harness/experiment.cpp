@@ -244,6 +244,73 @@ void fig11a_configs(const Options& opt) {
                  {"compiler", TxConfig::compiler()}});
 }
 
+void fig11a_scaling(const Options& opt) {
+  // Thread-count sweep for the fig11 contenders: raw seconds (not
+  // improvement) per app x config x thread count, so a multi-core box can
+  // record BENCH_scaling.json and the gate can compare shapes, not just
+  // endpoints. On the 1-core CI box this only demonstrates the schema —
+  // every "scaling" curve is flat-to-degrading under oversubscription.
+  std::vector<int> counts;
+  for (int t = 1; t <= opt.threads; t *= 2) counts.push_back(t);
+  if (counts.empty() || counts.back() != opt.threads) {
+    counts.push_back(opt.threads);
+  }
+  const std::vector<std::pair<std::string, TxConfig>> configs = {
+      {"baseline", TxConfig::baseline()},
+      {"rt-heap-W", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
+      {"compiler", TxConfig::compiler()},
+  };
+  std::printf("# Scaling sweep: median seconds per app/config across thread counts\n");
+  std::printf("%-15s %-12s", "app", "config");
+  for (int t : counts) std::printf(" %8dT", t);
+  std::printf("\n");
+
+  std::FILE* json = nullptr;
+  if (!opt.json.empty()) {
+    json = std::fopen(opt.json.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opt.json.c_str());
+      std::exit(1);
+    }
+    std::fprintf(json,
+                 "{\n  \"experiment\": \"scaling\",\n  \"scale\": %g,\n"
+                 "  \"reps\": %d,\n  \"seed\": %llu,\n  \"threads\": [",
+                 opt.scale, opt.reps,
+                 static_cast<unsigned long long>(opt.seed));
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      std::fprintf(json, "%s%d", i == 0 ? "" : ", ", counts[i]);
+    }
+    std::fprintf(json, "],\n  \"rows\": [");
+  }
+  bool first_row = true;
+  for (const auto& app : stamp::app_names()) {
+    for (const auto& [name, cfg] : configs) {
+      std::printf("%-15s %-12s", app.c_str(), name.c_str());
+      if (json != nullptr) {
+        std::fprintf(json, "%s\n    {\"app\": \"%s\", \"config\": \"%s\", \"seconds\": [",
+                     first_row ? "" : ",", app.c_str(), name.c_str());
+        first_row = false;
+      }
+      bool first_t = true;
+      for (int t : counts) {
+        const double secs = median_seconds(app, t, cfg, opt);
+        std::printf(" %8.4fs", secs);
+        if (json != nullptr) {
+          std::fprintf(json, "%s%.6f", first_t ? "" : ", ", secs);
+          first_t = false;
+        }
+      }
+      std::printf("\n");
+      if (json != nullptr) std::fprintf(json, "]}");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("# wrote %s\n", opt.json.c_str());
+  }
+}
+
 void fig11b_structures(const Options& opt) {
   std::printf("# Figure 11(b): improvement over baseline at %d threads\n", opt.threads);
   std::printf("# runtime checks: write barriers only, transaction-local heap only\n");

@@ -52,6 +52,11 @@ void fig8_breakdown(const Options& opt);        // Figure 8 (a, b, c)
 void fig9_removed(const Options& opt);          // Figure 9 (a, b)
 void fig10_single_thread(const Options& opt);   // Figure 10
 void fig11a_configs(const Options& opt);        // Figure 11 (a)
+/// Thread-count sweep (1,2,4,...,opt.threads) of the fig11 contenders,
+/// printing raw seconds per app x config x thread count. With --json this
+/// writes the BENCH_scaling.json record a multi-core box will commit
+/// (schema consumed, advisorily, by scripts/bench_gate.py).
+void fig11a_scaling(const Options& opt);
 void fig11b_structures(const Options& opt);     // Figure 11 (b)
 void table1_aborts(const Options& opt);         // Table 1
 void table2_variance(const Options& opt);       // Table 2

@@ -46,11 +46,17 @@ struct BarrierPlan {
   BarrierPath read = BarrierPath::kFull;
   BarrierPath write = BarrierPath::kFull;
   ActiveLog log = ActiveLog::kNone;
+  // Contention manager, resolved once at begin like the barrier paths: the
+  // conflict slow path (Tx::on_conflict) and the post-abort pause dispatch
+  // on this field, never on TxConfig — the access fast paths stay free of
+  // per-access policy branches.
+  ContentionPolicy cm = ContentionPolicy::kBackoff;
 
   /// Resolves a TxConfig into its plan. Constexpr so preset→path mappings
   /// can be checked at compile time (see tests/test_stm_basic.cpp).
   static constexpr BarrierPlan compile(const TxConfig& cfg) {
     BarrierPlan p;
+    p.cm = cfg.contention;
     p.log = cfg.count_mode ? ActiveLog::kTree  // precise classification
             : (cfg.heap_read || cfg.heap_write) ? to_active(cfg.alloc_log)
                                                 : ActiveLog::kNone;

@@ -11,9 +11,11 @@
 namespace cstm {
 
 enum class ContentionPolicy : std::uint8_t {
-  kBackoff = 0,       // abort self, exponential backoff before retry (paper)
-  kSuicide = 1,       // abort self, retry immediately
-  kSpinThenAbort = 2  // bounded spin on the lock, then abort self
+  kBackoff = 0,        // abort self, exponential backoff before retry (paper)
+  kSuicide = 1,        // abort self, retry immediately
+  kSpinThenAbort = 2,  // bounded spin on the lock, then abort self
+  kKarma = 3,          // priority = work invested (Scherer & Scott); loser aborts
+  kGreedy = 4          // oldest-first by begin ticket (Guerraoui et al.)
 };
 
 struct TxConfig {
@@ -45,6 +47,15 @@ struct TxConfig {
   constexpr bool any_read_check() const { return stack_read || heap_read || private_read; }
   constexpr bool any_write_check() const {
     return stack_write || heap_write || private_write;
+  }
+
+  /// Same barrier configuration, different contention manager. CM choice is
+  /// orthogonal to the capture presets, so the differential matrix crosses
+  /// the two axes with this helper.
+  constexpr TxConfig with_contention(ContentionPolicy p) const {
+    TxConfig c = *this;
+    c.contention = p;
+    return c;
   }
   // -- Presets matching the paper's measured configurations -----------------
 

@@ -52,6 +52,27 @@ class Tx {
   unsigned depth = 0;
   unsigned consecutive_aborts = 0;
 
+  /// This thread's unconsumed slice of reserved commit timestamps
+  /// (gclock.hpp). Survives across transactions — that is the whole point
+  /// of batching.
+  ClockReservation tclock;
+
+  // -- Contention-manager state (read by CONFLICTING threads) ----------------
+  // Both fields are written by the owning thread and read by threads that
+  // find this descriptor in a locked orec, hence atomic. Readers go through
+  // the StatsRegistry snapshot helpers in stm.cpp, which pin the descriptor
+  // alive for the duration of the read.
+
+  /// Karma: logged accesses accumulated over this transaction's aborted
+  /// attempts (reset at commit/cancel). Priority for karma arbitration.
+  std::atomic<std::uint64_t> cm_karma{0};
+
+  /// Greedy: global begin ticket, assigned at the FIRST attempt of a
+  /// top-level transaction and kept across retries (age only grows);
+  /// kNoTicket while no greedy transaction is running.
+  static constexpr std::uint64_t kNoTicket = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> cm_ticket{kNoTicket};
+
   TxLog<ReadEntry> rs;
   TxLog<OwnedOrec> ws;
   UndoLog undo;
@@ -152,8 +173,13 @@ class Tx {
 
   bool validate() const;
   bool extend();
-  /// Called on a lock conflict: spins (kSpinThenAbort) or aborts self.
+  /// Called on a lock conflict: dispatches on plan.cm (never cfg) — spin,
+  /// abort self, or arbitrate by karma/age against the lock owner.
   void on_conflict(std::atomic<std::uint64_t>* rec);
+  /// Post-abort pause, dispatched on plan.cm from the retry loop in
+  /// txn.hpp. kBackoff pauses exponentially; karma/greedy pause only after
+  /// repeated consecutive aborts (single-core livelock guard).
+  void after_abort_pause();
   void pause_backoff() { backoff_.pause(consecutive_aborts); }
 
   // -- Runtime capture analysis (Section 3.1) --------------------------------

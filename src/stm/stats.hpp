@@ -45,6 +45,21 @@ struct TxStats {
   std::uint64_t tx_allocs = 0;
   std::uint64_t tx_frees = 0;
 
+  // Epoch-batched clock traffic (gclock.hpp): shared-counter range
+  // reservations, stale ranges discarded without stamping, and lazy
+  // read-set revalidations (Tx::extend) against the published epoch.
+  std::uint64_t clock_reservations = 0;
+  std::uint64_t clock_stale_discards = 0;
+  std::uint64_t lazy_revalidations = 0;
+
+  // Self-aborts attributed to the contention-manager policy that decided
+  // them (conflict-driven aborts only; user aborts are not counted here).
+  std::uint64_t cm_aborts_backoff = 0;
+  std::uint64_t cm_aborts_suicide = 0;
+  std::uint64_t cm_aborts_spin = 0;
+  std::uint64_t cm_aborts_karma = 0;
+  std::uint64_t cm_aborts_greedy = 0;
+
   std::uint64_t read_elided() const {
     return read_elided_stack + read_elided_heap + read_elided_private +
            read_elided_static;
@@ -84,6 +99,14 @@ struct TxStats {
     write_required += o.write_required;
     tx_allocs += o.tx_allocs;
     tx_frees += o.tx_frees;
+    clock_reservations += o.clock_reservations;
+    clock_stale_discards += o.clock_stale_discards;
+    lazy_revalidations += o.lazy_revalidations;
+    cm_aborts_backoff += o.cm_aborts_backoff;
+    cm_aborts_suicide += o.cm_aborts_suicide;
+    cm_aborts_spin += o.cm_aborts_spin;
+    cm_aborts_karma += o.cm_aborts_karma;
+    cm_aborts_greedy += o.cm_aborts_greedy;
   }
 
   void reset() { *this = TxStats{}; }

@@ -44,8 +44,9 @@ template <typename F>
       tx.commit_top();
       return;
     } catch (const TxAbortException&) {
-      // Conflict: state already rolled back; back off and retry.
-      if (tx.cfg.contention == ContentionPolicy::kBackoff) tx.pause_backoff();
+      // Conflict: state already rolled back; the plan's contention manager
+      // decides whether (and how long) to pause before the retry.
+      tx.after_abort_pause();
     } catch (const TxUserAbort&) {
       tx.cancel();
       return;

@@ -4,7 +4,8 @@
 // OUTCOMES. This suite runs one randomized container+malloc workload to a
 // fixed seed under EVERY barrier preset (full / static / stack+heap+priv
 // and heap-only across all three alloc-log structures / counting / the
-// generic per-access fallback) and asserts bit-identical final state and
+// generic per-access fallback), plus a contention-manager cross on a
+// representative barrier subset, and asserts bit-identical final state and
 // identical commit counts across all of them.
 //
 // The workload is single-threaded on purpose: with no conflicts the
@@ -16,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "containers/containers.hpp"
@@ -58,6 +60,22 @@ std::vector<std::pair<std::string, TxConfig>> all_presets() {
     TxConfig generic = TxConfig::runtime_w(AllocLogKind::kArray);
     generic.static_elision = true;
     presets.emplace_back("generic_static_rt", generic);
+  }
+  // Contention-manager cross: CM selection arbitrates WHO wins a conflict,
+  // so on a conflict-free single-threaded run it must be invisible — any
+  // digest divergence here means a CM leaked into committed state. A
+  // representative subset of the barrier axis (full barriers, static
+  // elision, the full runtime-check preset) crossed with the two priority
+  // CMs; kBackoff is already preset 0's policy.
+  for (const auto& [cm_name, cm] :
+       {std::pair<const char*, ContentionPolicy>{"karma", ContentionPolicy::kKarma},
+        std::pair<const char*, ContentionPolicy>{"greedy", ContentionPolicy::kGreedy}}) {
+    presets.emplace_back(std::string("full_") + cm_name,
+                         TxConfig::baseline().with_contention(cm));
+    presets.emplace_back(std::string("static_") + cm_name,
+                         TxConfig::compiler().with_contention(cm));
+    presets.emplace_back(std::string("rw_tree_") + cm_name,
+                         TxConfig::runtime_rw(AllocLogKind::kTree).with_contention(cm));
   }
   return presets;
 }
