@@ -77,6 +77,54 @@ def compare_scaling(committed, fresh, tolerance, violations, lines):
             )
 
 
+def compare_txbatch(committed, fresh, tolerance, violations, lines):
+    """Advisory comparison of BENCH_txbatch.json records.
+
+    Schema (written by `bench_txbatch_stream --json ...`):
+      {"experiment": "txbatch", "scale": S, "threads": T, "reps": N,
+       "seed": X, "batch_sizes": [1, 4, 16, 64],
+       "rows": [{"app": "...", "batch": B, "seconds": ...,
+                 "capture_hit_percent": ..., ...}, ...]}
+
+    Per (app, batch) cell: seconds within the ratio tolerance, and
+    capture_hit_percent within +/- tolerance points. The capture curve is a
+    deterministic property of the workload, so drifts there mean the merge
+    layer or the elision machinery changed behaviour, not the scheduler.
+    """
+    if committed.get("batch_sizes") != fresh.get("batch_sizes"):
+        violations.append(
+            f"txbatch: batch sizes differ (committed "
+            f"{committed.get('batch_sizes')} vs fresh {fresh.get('batch_sizes')})"
+        )
+        return
+    committed_rows = {(r["app"], r["batch"]): r for r in committed["rows"]}
+    fresh_rows = {(r["app"], r["batch"]): r for r in fresh["rows"]}
+    for key, crow in committed_rows.items():
+        frow = fresh_rows.get(key)
+        cell = f"{key[0]}@{key[1]}"
+        if frow is None:
+            violations.append(f"txbatch/{cell}: missing from fresh run")
+            continue
+        csec, fsec = crow["seconds"], frow["seconds"]
+        ratio = fsec / csec if csec > 0 else float("inf")
+        ok = 1.0 / (1.0 + tolerance / 100.0) <= ratio <= 1.0 + tolerance / 100.0
+        if not ok:
+            violations.append(
+                f"txbatch/{cell}: {fsec:.4f}s vs committed {csec:.4f}s "
+                f"(x{ratio:.2f})"
+            )
+        chit, fhit = crow["capture_hit_percent"], frow["capture_hit_percent"]
+        if abs(fhit - chit) > tolerance:
+            violations.append(
+                f"txbatch/{cell}: capture-hit {fhit:.1f}% vs committed "
+                f"{chit:.1f}% (delta {fhit - chit:+.1f} points)"
+            )
+        lines.append(
+            f"  txbatch  {cell:20s} {csec:8.4f}s -> {fsec:8.4f}s  "
+            f"(x{ratio:.2f})  cap-hit {chit:5.1f}% -> {fhit:5.1f}%"
+        )
+
+
 def compare_rows(name, committed, fresh, tolerance, violations, lines):
     committed_rows = {r["app"]: r for r in committed["rows"]}
     fresh_rows = {r["app"]: r for r in fresh["rows"]}
@@ -165,6 +213,22 @@ def main():
     else:
         print("bench_gate: no committed BENCH_scaling.json (expected until a "
               "multi-core box records one); skipping scaling comparison")
+
+    # BENCH_txbatch.json is compared advisorily, like the scaling record:
+    # the merge-factor sweep lives or dies by its capture curve, which is
+    # deterministic, but the seconds column shares the 1-core box's noise.
+    committed_txbatch = os.path.join(REPO, "BENCH_txbatch.json")
+    fresh_txbatch = os.path.join(out_dir, "BENCH_txbatch.json")
+    if os.path.exists(committed_txbatch):
+        if os.path.exists(fresh_txbatch):
+            compare_txbatch(load(committed_txbatch), load(fresh_txbatch),
+                            args.tolerance, violations, lines)
+        else:
+            print("bench_gate: committed BENCH_txbatch.json present but the "
+                  "fresh run produced none; skipping (advisory)")
+    else:
+        print("bench_gate: no committed BENCH_txbatch.json; skipping txbatch "
+              "comparison")
 
     print("bench_gate: committed -> fresh improvement percentages:")
     print("\n".join(lines))

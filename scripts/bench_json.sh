@@ -19,6 +19,12 @@
 #   FIG11_THREADS (default 4), FIG11_SCALE (default 3.0 — larger than fig10
 #   so per-cell times rise out of the scheduler-jitter floor), FIG11_REPS
 #   (default 5).
+# Environment overrides for the txbatch run (BENCH_txbatch.json — request
+# streams through the merge layer at batch sizes 1/4/16/64):
+#   TXBATCH_THREADS (default 1: the capture curve is a single-thread
+#   property and the CI box has one core), TXBATCH_SCALE (default 4.0 —
+#   per-cell times of ~0.5 s, above the scheduler-jitter floor the gate
+#   comparison would otherwise drown in), TXBATCH_REPS (default = reps).
 # OUT_DIR (default repo root) redirects the written JSONs — used by
 # scripts/bench_gate.py so a gate run never clobbers the committed records.
 set -euo pipefail
@@ -30,11 +36,14 @@ out_dir="${OUT_DIR:-.}"
 fig11_threads="${FIG11_THREADS:-4}"
 fig11_scale="${FIG11_SCALE:-3.0}"
 fig11_reps="${FIG11_REPS:-5}"
+txbatch_threads="${TXBATCH_THREADS:-1}"
+txbatch_scale="${TXBATCH_SCALE:-4.0}"
+txbatch_reps="${TXBATCH_REPS:-$reps}"
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_fig10_single_thread \
-  bench_fig11a_scal_configs bench_fig11b_structures
+  bench_fig11a_scal_configs bench_fig11b_structures bench_txbatch_stream
 
 ./build/bench_fig10_single_thread \
   --scale "$scale" --reps "$reps" --json "$out_dir/BENCH_fig10.json"
@@ -56,3 +65,8 @@ trap 'rm -f "$tmpa" "$tmpb"' EXIT
   echo '}'
 } > "$out_dir/BENCH_fig11.json"
 echo "wrote $out_dir/BENCH_fig11.json"
+
+./build/bench_txbatch_stream --scale "$txbatch_scale" \
+  --reps "$txbatch_reps" --threads "$txbatch_threads" \
+  --json "$out_dir/BENCH_txbatch.json"
+echo "wrote $out_dir/BENCH_txbatch.json"

@@ -30,6 +30,9 @@ Options parse_options(int argc, char** argv) {
       opt.threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       opt.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      opt.batch = static_cast<std::size_t>(
+          std::strtoull(need_value("--batch"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = need_value("--json");
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -40,7 +43,7 @@ Options parse_options(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--reps N] [--threads T] [--seed X] "
-                   "[--json FILE] [--smoke]\n",
+                   "[--batch B] [--json FILE] [--smoke]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -354,6 +357,122 @@ void table2_variance(const Options& opt) {
       std::printf(" %10.2f", s.rsd_percent);
     }
     std::printf("\n");
+  }
+}
+
+namespace {
+
+/// run_once's streaming twin: same config install / stats-reset protocol,
+/// but the workload is replayed through txbatch::Batcher at @p batch.
+RunResult run_stream_once(const std::string& app, int threads,
+                          std::size_t batch, const TxConfig& cfg,
+                          const Options& opt, std::uint64_t* requests_out) {
+  set_global_config(cfg);
+  auto instance = stamp::make_app(app);
+  stamp::AppParams params;
+  params.threads = threads;
+  params.seed = opt.seed;
+  params.scale = opt.scale;
+  stats_reset();
+  RunResult result;
+  result.seconds = stamp::run_app_stream(*instance, params, batch, requests_out);
+  result.stats = stats_snapshot();
+  set_global_config(TxConfig::baseline());
+  return result;
+}
+
+}  // namespace
+
+void txbatch_stream(const Options& opt) {
+  // The merge layer's one job: make a larger fraction of each transaction's
+  // footprint CAPTURED. Run under the runtime stack+heap config with the
+  // O(1)-miss filter log: most accesses in any real stream are capture
+  // MISSES, and a log whose miss cost grows with the merged footprint (the
+  // tree) would charge the batch for its own size, burying the fixed-cost
+  // amortization this experiment exists to show. (The bounded array log is
+  // out too — it overflows outright at batch 64.)
+  const TxConfig cfg = TxConfig::runtime_rw(AllocLogKind::kFilter);
+  std::vector<std::size_t> batches;
+  if (opt.batch > 0) {
+    batches.push_back(opt.batch);
+  } else {
+    batches = {1, 4, 16, 64};
+  }
+  const std::vector<std::string> apps = {"vacation-low", "intruder"};
+
+  std::printf("# txbatch: request-stream throughput vs merge factor "
+              "(%d thread%s, runtime stack+heap RW, filter log)\n",
+              opt.threads, opt.threads == 1 ? "" : "s");
+  std::printf("# capture-hit%% = accesses hitting captured (tx-local "
+              "stack/heap) memory; elided%% = any elision mechanism\n");
+  std::printf("%-15s %6s %10s %12s %12s %9s %10s %8s %9s %7s\n", "app",
+              "batch", "seconds", "requests", "req/s", "cap-hit%", "elided%",
+              "commits", "flushes", "comp");
+
+  std::FILE* json = nullptr;
+  if (!opt.json.empty()) {
+    json = std::fopen(opt.json.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opt.json.c_str());
+      std::exit(1);
+    }
+    std::fprintf(json,
+                 "{\n  \"experiment\": \"txbatch\",\n  \"scale\": %g,\n"
+                 "  \"threads\": %d,\n  \"reps\": %d,\n  \"seed\": %llu,\n"
+                 "  \"batch_sizes\": [",
+                 opt.scale, opt.threads, opt.reps,
+                 static_cast<unsigned long long>(opt.seed));
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      std::fprintf(json, "%s%zu", i == 0 ? "" : ", ", batches[i]);
+    }
+    std::fprintf(json, "],\n  \"rows\": [");
+  }
+  bool first_row = true;
+  for (const auto& app : apps) {
+    for (const std::size_t batch : batches) {
+      std::vector<double> times;
+      TxStats stats;
+      std::uint64_t requests = 0;
+      for (int r = 0; r < opt.reps; ++r) {
+        const RunResult res =
+            run_stream_once(app, opt.threads, batch, cfg, opt, &requests);
+        times.push_back(res.seconds);
+        stats = res.stats;
+      }
+      std::sort(times.begin(), times.end());
+      const double secs = times[times.size() / 2];
+      const double rps = secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
+      std::printf("%-15s %6zu %10.4f %12llu %12.0f %9.1f %10.1f %8llu %9llu %7llu\n",
+                  app.c_str(), batch, secs,
+                  static_cast<unsigned long long>(requests), rps,
+                  stats.capture_hit_percent(), stats.elided_percent(),
+                  static_cast<unsigned long long>(stats.commits),
+                  static_cast<unsigned long long>(stats.batch_flushes),
+                  static_cast<unsigned long long>(stats.batch_op_compensations));
+      if (json != nullptr) {
+        std::fprintf(
+            json,
+            "%s\n    {\"app\": \"%s\", \"batch\": %zu, \"seconds\": %.6f, "
+            "\"requests\": %llu, \"req_per_sec\": %.1f, "
+            "\"capture_hit_percent\": %.2f, \"elided_percent\": %.2f, "
+            "\"commits\": %llu, \"aborts\": %llu, \"batch_flushes\": %llu, "
+            "\"batch_ops\": %llu, \"batch_op_compensations\": %llu}",
+            first_row ? "" : ",", app.c_str(), batch, secs,
+            static_cast<unsigned long long>(requests), rps,
+            stats.capture_hit_percent(), stats.elided_percent(),
+            static_cast<unsigned long long>(stats.commits),
+            static_cast<unsigned long long>(stats.aborts),
+            static_cast<unsigned long long>(stats.batch_flushes),
+            static_cast<unsigned long long>(stats.batch_ops),
+            static_cast<unsigned long long>(stats.batch_op_compensations));
+        first_row = false;
+      }
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("# wrote %s\n", opt.json.c_str());
   }
 }
 

@@ -18,11 +18,12 @@ struct Options {
   int reps = 3;
   int threads = 16;     // the paper's maximum thread count
   std::uint64_t seed = 20090811;
+  std::size_t batch = 0;  // --batch N: txbatch merge factor (0 = sweep 1/4/16/64)
   std::string json;     // when set: also write machine-readable results here
 };
 
-/// Parses --scale/--reps/--threads/--seed/--json; unknown flags abort with
-/// usage.
+/// Parses --scale/--reps/--threads/--seed/--batch/--json; unknown flags
+/// abort with usage.
 Options parse_options(int argc, char** argv);
 
 struct RunResult {
@@ -60,5 +61,14 @@ void fig11a_scaling(const Options& opt);
 void fig11b_structures(const Options& opt);     // Figure 11 (b)
 void table1_aborts(const Options& opt);         // Table 1
 void table2_variance(const Options& opt);       // Table 2
+
+/// txbatch throughput-vs-merge-factor sweep: replays the vacation-low and
+/// intruder request streams through txbatch::Batcher at batch sizes
+/// {1, 4, 16, 64} (or just opt.batch when --batch is given) and prints a
+/// per-row stats block — requests/s plus the capture-hit-rate% and
+/// barriers-elided% that explain the curve. With --json this writes the
+/// BENCH_txbatch.json record (schema consumed, advisorily, by
+/// scripts/bench_gate.py).
+void txbatch_stream(const Options& opt);
 
 }  // namespace cstm::harness

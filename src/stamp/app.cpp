@@ -1,8 +1,10 @@
 #include "stamp/app.hpp"
 
+#include <atomic>
 #include <barrier>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 #include <thread>
 
@@ -15,6 +17,7 @@
 #include "stamp/vacation/vacation.hpp"
 #include "stamp/yada/yada.hpp"
 #include "support/timer.hpp"
+#include "txbatch/batcher.hpp"
 
 namespace cstm::stamp {
 
@@ -65,6 +68,61 @@ double run_app(App& app, const AppParams& params) {
                  app.name(), n);
     std::abort();
   }
+  return elapsed;
+}
+
+double run_app_stream(App& app, const AppParams& params, std::size_t batch,
+                      std::uint64_t* requests_out) {
+  app.setup(params);
+  const int n = params.threads;
+  std::atomic<std::uint64_t> total_requests{0};
+  double elapsed = 0.0;
+  Timer timer;
+  std::barrier sync(n + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::atomic<bool> not_batchable{false};
+  for (int tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::unique_ptr<RequestSource> source = app.open_request_stream(tid);
+      if (source == nullptr) {
+        not_batchable.store(true);
+        sync.arrive_and_wait();
+        sync.arrive_and_wait();
+        return;
+      }
+      txbatch::BatcherOptions opts;
+      opts.max_batch = batch;
+      txbatch::Batcher batcher(opts);
+      sync.arrive_and_wait();  // line up
+      std::uint64_t replayed = 0;
+      for (std::function<void(Tx&)> fn = source->next(); fn;
+           fn = source->next()) {
+        batcher.enqueue(std::move(fn));
+        ++replayed;
+      }
+      batcher.drain();
+      total_requests.fetch_add(replayed);
+      sync.arrive_and_wait();  // all done
+    });
+  }
+  sync.arrive_and_wait();
+  timer.reset();
+  sync.arrive_and_wait();
+  elapsed = timer.seconds();
+  for (auto& t : threads) t.join();
+  if (not_batchable.load()) {
+    std::fprintf(stderr, "FATAL: %s has no request-stream adapter\n",
+                 app.name());
+    std::abort();
+  }
+  if (!app.verify()) {
+    std::fprintf(stderr,
+                 "FATAL: %s failed verification (threads=%d, batch=%zu)\n",
+                 app.name(), n, batch);
+    std::abort();
+  }
+  if (requests_out != nullptr) *requests_out = total_requests.load();
   return elapsed;
 }
 

@@ -9,9 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
+
+namespace cstm {
+class Tx;
+}
 
 namespace cstm::stamp {
 
@@ -19,6 +24,19 @@ struct AppParams {
   int threads = 1;
   std::uint64_t seed = 20090811;  // SPAA'09 started Aug 11, 2009
   double scale = 1.0;             // workload multiplier (1.0 = CI-sized)
+};
+
+/// An ordered stream of small single-transaction request closures — the
+/// txbatch adapter surface. Each next() yields one user-level request (one
+/// reservation task, one fragment reassembly, ...) suitable for running
+/// alone in its own transaction OR merged with its successors into one
+/// outer transaction by txbatch::Batcher. A source is a same-thread object:
+/// one per worker thread, FIFO semantics.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  /// The next request, or an empty function once the stream is exhausted.
+  virtual std::function<void(Tx&)> next() = 0;
 };
 
 class App {
@@ -35,6 +53,13 @@ class App {
 
   /// Post-run invariant check (sequential).
   virtual bool verify() = 0;
+
+  /// Apps that can replay their workload as a stream of independent
+  /// requests override this (txbatch harness mode, `--batch`). Call after
+  /// setup(), once per worker thread. The default says "not batchable".
+  virtual std::unique_ptr<RequestSource> open_request_stream(int /*tid*/) {
+    return nullptr;
+  }
 };
 
 /// Instantiates a registered application by name; throws std::out_of_range
@@ -49,5 +74,14 @@ const std::vector<std::string>& app_names();
 /// region. Aborts the process with a diagnostic if verify() fails — a
 /// benchmark that computes wrong answers must never report a time.
 double run_app(App& app, const AppParams& params);
+
+/// Batched analogue of run_app: each thread opens a request stream and
+/// feeds it through a txbatch::Batcher flushing at @p batch ops, so batch
+/// sizes 1 vs N replay the SAME request sequence under different merge
+/// factors. Aborts the process if the app is not batchable or fails
+/// verification. @p requests_out (optional) receives the total number of
+/// requests replayed across all threads.
+double run_app_stream(App& app, const AppParams& params, std::size_t batch,
+                      std::uint64_t* requests_out = nullptr);
 
 }  // namespace cstm::stamp

@@ -109,6 +109,64 @@ void IntruderApp::worker(int /*tid*/) {
   }
 }
 
+/// Request-stream adapter (txbatch `--batch` mode). One request = pop one
+/// fragment and advance its flow's reassembly; when the flow completes, the
+/// signature scan runs inline over the immutable flow bytes (plain reads —
+/// flow_data_ is read-only after setup) and the result counters are bumped
+/// in the same transaction, so the completed_ hand-off queue is never
+/// touched. This is the strongest capture showcase in the suite: merge a
+/// flow's four fragments into one outer transaction and the FlowState plus
+/// the reassembly-map nodes allocated by the first fragment are CAPTURED
+/// memory for the other three.
+class IntruderRequestSource : public RequestSource {
+ public:
+  IntruderRequestSource(IntruderApp& app, int tid) : app_(app) {
+    const auto total = static_cast<std::uint64_t>(app.num_flows_) *
+                       static_cast<std::uint64_t>(app.fragments_per_flow_);
+    const auto threads = static_cast<std::uint64_t>(app.params_.threads);
+    remaining_ = total / threads +
+                 (static_cast<std::uint64_t>(tid) < total % threads ? 1 : 0);
+  }
+
+  std::function<void(Tx&)> next() override {
+    if (remaining_ == 0) return {};
+    --remaining_;
+    return [this](Tx& tx) {
+      std::uint64_t frag = 0;
+      if (!app_.arrivals_->pop(tx, &frag)) return;
+      const std::uint64_t flow = frag >> 16;
+      IntruderApp::FlowState* state = nullptr;
+      if (!app_.reassembly_->find(tx, flow, &state)) {
+        state = tx_new<IntruderApp::FlowState>(tx);
+        state->received.init(tx, 0);
+        state->total.init(
+            tx, static_cast<std::uint64_t>(app_.fragments_per_flow_));
+        app_.reassembly_->insert(tx, flow, state);
+      }
+      const std::uint64_t recv = state->received.get(tx) + 1;
+      state->received.set(tx, recv);
+      if (recv == state->total.get(tx)) {
+        app_.reassembly_->erase(tx, flow);
+        tx_delete(tx, state);
+        const auto& data = app_.flow_data_[flow];
+        const bool attack =
+            std::search(data.begin(), data.end(), std::begin(kSignature),
+                        std::end(kSignature)) != data.end();
+        app_.flows_done_.add(tx, 1);
+        if (attack) app_.attacks_found_.add(tx, 1);
+      }
+    };
+  }
+
+ private:
+  IntruderApp& app_;
+  std::uint64_t remaining_ = 0;
+};
+
+std::unique_ptr<RequestSource> IntruderApp::open_request_stream(int tid) {
+  return std::make_unique<IntruderRequestSource>(*this, tid);
+}
+
 bool IntruderApp::verify() {
   Tx& tx = current_tx();
   return flows_done_.peek() == num_flows_ &&

@@ -27,9 +27,11 @@ class IntruderApp : public App {
   void setup(const AppParams& params) override;
   void worker(int tid) override;
   bool verify() override;
+  std::unique_ptr<RequestSource> open_request_stream(int tid) override;
   ~IntruderApp() override;
 
  private:
+  friend class IntruderRequestSource;
   struct FlowState {
     tfield<std::uint64_t, intruder_sites::kFlowField> received;
     tfield<std::uint64_t, intruder_sites::kFlowField> total;

@@ -89,7 +89,11 @@ void VacationApp::setup(const AppParams& params) {
 }
 
 void VacationApp::task_make_reservation(Tx& tx, WorkerCtx& ctx) {
-  const std::uint64_t customer_id = ctx.rng.below(query_range_);
+  task_make_reservation(tx, ctx, ctx.rng.below(query_range_));
+}
+
+void VacationApp::task_make_reservation(Tx& tx, WorkerCtx& ctx,
+                                        std::uint64_t customer_id) {
   // Address-taken locals inside the atomic block: a naive compiler
   // instruments every access to them (they escape into helper calls in the
   // original C), producing exactly the captured-stack barriers of Fig. 8.
@@ -137,7 +141,10 @@ void VacationApp::task_make_reservation(Tx& tx, WorkerCtx& ctx) {
 }
 
 void VacationApp::task_delete_customer(Tx& tx, WorkerCtx& ctx) {
-  const std::uint64_t customer_id = ctx.rng.below(query_range_);
+  task_delete_customer(tx, ctx.rng.below(query_range_));
+}
+
+void VacationApp::task_delete_customer(Tx& tx, std::uint64_t customer_id) {
   Customer* customer = nullptr;
   if (!customers_.find(tx, customer_id, &customer)) return;
   // Refund every booking (Figure 1(a)-style iteration: the iterator lives
@@ -214,6 +221,81 @@ void VacationApp::worker(int tid) {
       atomic([&](Tx& tx) { task_update_tables(tx, ctx, ctx.rng.below(2) == 0); });
     }
   }
+}
+
+/// Request-stream adapter (txbatch `--batch` mode). Emits the worker()'s
+/// task mix one closure at a time, structured as customer SESSIONS: one
+/// customer issues a run of kSessionLen requests (mostly reservations,
+/// occasional table updates) and the session finale deletes the customer,
+/// refunding everything booked during the session. Sessions are what make
+/// merging pay: a reservation inserts nodes into the customer's booking
+/// list, so when a batch spans the session, every later request's list
+/// traversal — and the finale's full refund walk — reads memory ALLOCATED
+/// EARLIER IN THE SAME MERGED TRANSACTION, i.e. captured memory. At batch 1
+/// those same nodes were committed by earlier transactions and pay full
+/// barriers.
+///
+/// Two RNGs keep the stream identical across batch sizes: the GENERATION
+/// rng decides each task's type and session customer when next() is
+/// called, while every draw a task makes while running comes from the
+/// execution WorkerCtx rng — and since the Batcher executes closures
+/// strictly in enqueue order, those draws land in the same order whether
+/// requests run one-per-transaction or merged 64 at a time.
+class VacationRequestSource : public RequestSource {
+ public:
+  VacationRequestSource(VacationApp& app, int tid)
+      : app_(app),
+        ctx_(app.params_.seed * 7919 + static_cast<std::uint64_t>(tid)),
+        gen_rng_(app.params_.seed * 104729 + static_cast<std::uint64_t>(tid)) {
+    const auto threads = static_cast<std::uint64_t>(app.params_.threads);
+    remaining_ = app.total_tasks_ / threads +
+                 (static_cast<std::uint64_t>(tid) < app.total_tasks_ % threads
+                      ? 1
+                      : 0);
+  }
+
+  std::function<void(Tx&)> next() override {
+    if (remaining_ == 0) return {};
+    --remaining_;
+    if (session_left_ == 0) {
+      session_customer_ = gen_rng_.below(app_.query_range_);
+      session_left_ = kSessionLen;
+    }
+    --session_left_;
+    const std::uint64_t dice = gen_rng_.below(100);
+    const std::uint64_t customer = session_customer_;
+    if (session_left_ == 0) {
+      // Session finale: the customer checks out, refunding every booking
+      // made during the session (a walk over the session's allocations).
+      return [this, customer](Tx& tx) {
+        app_.task_delete_customer(tx, customer);
+      };
+    }
+    if (dice < static_cast<std::uint64_t>(app_.user_percent_)) {
+      return [this, customer](Tx& tx) {
+        app_.task_make_reservation(tx, ctx_, customer);
+      };
+    }
+    return [this](Tx& tx) {
+      app_.task_update_tables(tx, ctx_, ctx_.rng.below(2) == 0);
+    };
+  }
+
+ private:
+  // A session long enough that merge factors below 64 only span part of
+  // it, so the captured fraction keeps climbing across the whole sweep.
+  static constexpr std::uint64_t kSessionLen = 64;
+
+  VacationApp& app_;
+  WorkerCtx ctx_;
+  Xoshiro256 gen_rng_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t session_customer_ = 0;
+  std::uint64_t session_left_ = 0;
+};
+
+std::unique_ptr<RequestSource> VacationApp::open_request_stream(int tid) {
+  return std::make_unique<VacationRequestSource>(*this, tid);
 }
 
 bool VacationApp::verify() {

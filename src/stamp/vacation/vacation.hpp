@@ -47,8 +47,10 @@ class VacationApp : public App {
   void setup(const AppParams& params) override;
   void worker(int tid) override;
   bool verify() override;
+  std::unique_ptr<RequestSource> open_request_stream(int tid) override;
 
  private:
+  friend class VacationRequestSource;
   struct Reservation {
     tfield<std::uint64_t, vacation_sites::kResField> num_used;
     tfield<std::uint64_t, vacation_sites::kResField> num_free;
@@ -75,7 +77,10 @@ class VacationApp : public App {
   }
 
   void task_make_reservation(Tx& tx, class WorkerCtx& ctx);
+  void task_make_reservation(Tx& tx, class WorkerCtx& ctx,
+                             std::uint64_t customer_id);
   void task_delete_customer(Tx& tx, class WorkerCtx& ctx);
+  void task_delete_customer(Tx& tx, std::uint64_t customer_id);
   void task_update_tables(Tx& tx, class WorkerCtx& ctx, bool add);
 
   bool high_;

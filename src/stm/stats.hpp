@@ -60,6 +60,19 @@ struct TxStats {
   std::uint64_t cm_aborts_karma = 0;
   std::uint64_t cm_aborts_greedy = 0;
 
+  // Nested partial aborts (Tx::abort_nested): closed-nested levels rolled
+  // back individually, whatever triggered them (user abort_tx, txbatch
+  // sub-op compensation).
+  std::uint64_t nested_partial_aborts = 0;
+
+  // txbatch merge layer (src/txbatch/batcher.hpp): outer merged
+  // transactions committed, sub-ops executed inside them, and sub-ops
+  // rolled back by the per-op compensation path (requeued or failed
+  // without touching their siblings).
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t batch_ops = 0;
+  std::uint64_t batch_op_compensations = 0;
+
   std::uint64_t read_elided() const {
     return read_elided_stack + read_elided_heap + read_elided_private +
            read_elided_static;
@@ -73,6 +86,31 @@ struct TxStats {
     return commits == 0 ? 0.0
                         : static_cast<double>(aborts) /
                               static_cast<double>(commits);
+  }
+
+  // -- Per-run report ratios (harness stats block / BENCH_*.json) ------------
+
+  /// Percentage of instrumented accesses that hit CAPTURED memory (the
+  /// paper's tx-local stack + tx-local heap classes) and skipped their
+  /// barrier. This is the counter batching moves: merged transactions
+  /// allocate more, so more of their footprint is captured.
+  double capture_hit_percent() const {
+    const std::uint64_t accesses = reads + writes;
+    const std::uint64_t hits = read_elided_stack + read_elided_heap +
+                               write_elided_stack + write_elided_heap;
+    return accesses == 0 ? 0.0
+                         : 100.0 * static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+
+  /// Percentage of instrumented accesses elided by ANY mechanism (capture,
+  /// private-region annotations, static verdicts).
+  double elided_percent() const {
+    const std::uint64_t accesses = reads + writes;
+    return accesses == 0 ? 0.0
+                         : 100.0 *
+                               static_cast<double>(read_elided() + write_elided()) /
+                               static_cast<double>(accesses);
   }
 
   void add(const TxStats& o) {
@@ -107,6 +145,10 @@ struct TxStats {
     cm_aborts_spin += o.cm_aborts_spin;
     cm_aborts_karma += o.cm_aborts_karma;
     cm_aborts_greedy += o.cm_aborts_greedy;
+    nested_partial_aborts += o.nested_partial_aborts;
+    batch_flushes += o.batch_flushes;
+    batch_ops += o.batch_ops;
+    batch_op_compensations += o.batch_op_compensations;
   }
 
   void reset() { *this = TxStats{}; }

@@ -399,6 +399,22 @@ void Tx::abort_nested() {
     const std::uint64_t av = orec::make_version(stamp_and_count(*this).ts);
     for (std::size_t i = ws.size(); i-- > m.ws;) {
       ws[i].rec->store(av, std::memory_order_release);
+      // The fresh stamp protects CONCURRENT readers from ABA, but it must
+      // not doom the surviving enclosing levels: if an outer level read
+      // this record before the aborted child locked it (observed ==
+      // the child's pre-lock word), the value it read is still there — we
+      // held the lock from acquisition to this very release and the undo
+      // above restored the pre-lock bytes. Advance those read entries to
+      // the released version, i.e. apply the validate() rule for
+      // self-locked records eagerly, at the moment the lock disappears.
+      // Without this the parent's commit validation fails against its own
+      // child's release stamp — deterministically, so the merged batch
+      // (or any nested-abort-then-commit pattern) retries forever.
+      for (std::size_t j = 0; j < m.rs; ++j) {
+        if (rs[j].rec == ws[i].rec && rs[j].observed == ws[i].prev) {
+          rs[j].observed = av;
+        }
+      }
     }
   }
   ws.truncate(m.ws);
@@ -422,6 +438,7 @@ void Tx::abort_nested() {
   alloc.allocs.resize(m.allocs);
   alloc.deferred_frees.resize(m.frees);
   --depth;
+  ++stats.nested_partial_aborts;
 }
 
 bool Tx::validate() const {

@@ -21,4 +21,5 @@
 #include "stm/stats.hpp"
 #include "stm/tvar.hpp"
 #include "stm/txn.hpp"
+#include "txbatch/batcher.hpp"
 #include "txmalloc/txalloc.hpp"

@@ -23,6 +23,7 @@
 
 #include "stm/gclock.hpp"
 #include "stm/orec.hpp"
+#include "stm/stm.hpp"
 #include "support/backoff.hpp"
 
 namespace cstm {
@@ -243,6 +244,47 @@ TEST(StripedOrecs, MixingHashSpreadsConsecutiveLines) {
   }
   // Perfectly even would be kLines / kStripes = 0.5; allow generous slack.
   EXPECT_LE(max_load, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Merged batches against the production clock
+// ---------------------------------------------------------------------------
+
+TEST(BatchedClockTx, MergedBatchPublishesOnce) {
+  // The txbatch form of WritingTransactionsAdvanceClockOnce
+  // (tests/test_stm_advanced.cpp): N writing sub-ops merged into one outer
+  // transaction are ONE writing commit, so the published epoch advances
+  // once per drained batch — never once per sub-op. Nested commits don't
+  // touch the clock; only commit_top stamps.
+  set_global_config(TxConfig::baseline());
+  std::uint64_t x = 0;
+  // Warm the committer's reserved range so at most one range-boundary jump
+  // can fall inside the measured run.
+  atomic([&](Tx& tx) { tm_write(tx, &x, std::uint64_t{1}); });
+  constexpr int kRounds = 10;
+  constexpr int kOpsPerBatch = 16;
+  std::uint64_t prev = global_clock().load();
+  std::uint64_t single_steps = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    txbatch::BatcherOptions opts;
+    opts.max_batch = kOpsPerBatch;
+    txbatch::Batcher batcher(opts);
+    for (int i = 0; i < kOpsPerBatch; ++i) {
+      batcher.enqueue([&x, i](Tx& tx) {
+        tm_write(tx, &x, static_cast<std::uint64_t>(i));
+      });
+    }
+    batcher.drain();
+    const std::uint64_t now = global_clock().load();
+    EXPECT_GT(now, prev) << "batch " << round << " did not publish";
+    // A 16-op batch stamping per sub-op would advance by 16; the merged
+    // commit advances by exactly 1 inside a synced range.
+    EXPECT_LE(now, prev + GlobalClock::kDefaultBatch);
+    if (now == prev + 1) ++single_steps;
+    prev = now;
+  }
+  EXPECT_GE(single_steps, static_cast<std::uint64_t>(kRounds) - 1);
+  set_global_config(TxConfig::baseline());
 }
 
 // ---------------------------------------------------------------------------

@@ -92,14 +92,24 @@ struct Digest {
 
 struct RunOutcome {
   std::uint64_t digest = 0;
-  std::uint64_t commits = 0;
+  std::uint64_t commits = 0;  // step-phase commits (digest folding excluded)
   std::uint64_t aborts = 0;
+  std::uint64_t batch_ops = 0;      // sub-ops executed inside merged batches
+  std::uint64_t compensated = 0;    // sub-ops rolled back per-op (user aborts)
 };
 
 /// The torture workload: maps, lists, vectors, queues, heaps, bitmaps,
 /// hashtables, raw tx_malloc scratch, nested transactions, and
 /// deterministic user aborts, all driven by one fixed-seed RNG.
-RunOutcome run_workload(const TxConfig& cfg, int steps = kSteps) {
+///
+/// @p batch selects the executor: 0 runs each step directly in its own
+/// top-level transaction (the historical shape); N > 0 feeds the SAME
+/// closures through txbatch::Batcher at merge factor N. All per-step
+/// randomness is drawn at GENERATION time, in the exact order the direct
+/// executor consumed it, so the request stream is bit-identical whatever
+/// the merge factor — any digest divergence is a merge-layer bug.
+RunOutcome run_workload(const TxConfig& cfg, int steps = kSteps,
+                        std::size_t batch = 0) {
   set_global_config(cfg);
   stats_reset();
 
@@ -112,68 +122,68 @@ RunOutcome run_workload(const TxConfig& cfg, int steps = kSteps) {
   TxBitmap bitmap(kKeyRange);
   tvar<std::uint64_t> counter{0};
 
+  txbatch::BatcherOptions bopts;
+  bopts.max_batch = batch == 0 ? 1 : batch;
+  txbatch::Batcher batcher(bopts);
+
   Xoshiro256 rng(kSeed);
   for (int step = 0; step < steps; ++step) {
     const std::uint64_t key = rng.below(kKeyRange);
     const std::uint64_t val = rng.next();
     const std::uint64_t op = rng.below(12);
-    switch (op) {
-      case 0:
-        atomic([&](Tx& tx) { map.insert(tx, key, val); });
-        break;
-      case 1:
-        atomic([&](Tx& tx) { map.erase(tx, key); });
-        break;
-      case 2:
-        atomic([&](Tx& tx) { table.put(tx, key, val); });
-        break;
-      case 3:
-        atomic([&](Tx& tx) {
+    // Op 8's coin is drawn HERE, at generation time, in exactly the slot
+    // the direct executor used to draw it (execution was immediate). A
+    // draw at execution time would make the stream depend on the merge
+    // factor, because the Batcher defers closure bodies.
+    const std::uint64_t heap_coin = op == 8 ? rng.below(3) : 1;
+    auto body = [&, key, val, op, heap_coin, step](Tx& tx) {
+      switch (op) {
+        case 0:
+          map.insert(tx, key, val);
+          break;
+        case 1:
+          map.erase(tx, key);
+          break;
+        case 2:
+          table.put(tx, key, val);
+          break;
+        case 3:
           if (list.size(tx) < 512) list.insert(tx, key);
-        });
-        break;
-      case 4:
-        atomic([&](Tx& tx) { list.remove(tx, key); });
-        break;
-      case 5:
-        atomic([&](Tx& tx) {
+          break;
+        case 4:
+          list.remove(tx, key);
+          break;
+        case 5:
           if (vec.size(tx) < 512) {
             vec.push_back(tx, val);
           } else {
             vec.set(tx, val % 512, val);
           }
-        });
-        break;
-      case 6:
-        atomic([&](Tx& tx) { queue.push(tx, val); });
-        break;
-      case 7: {
-        std::uint64_t out = 0;
-        atomic([&](Tx& tx) {
+          break;
+        case 6:
+          queue.push(tx, val);
+          break;
+        case 7: {
+          std::uint64_t out = 0;
           if (queue.pop(tx, &out)) counter.add(tx, out & 0xff);
-        });
-        break;
-      }
-      case 8:
-        atomic([&](Tx& tx) {
+          break;
+        }
+        case 8: {
           if (heap.size(tx) < 512) heap.push(tx, val);
           std::uint64_t top = 0;
-          if (rng.below(3) == 0 && heap.pop(tx, &top)) {
+          if (heap_coin == 0 && heap.pop(tx, &top)) {
             counter.add(tx, top & 0xff);
           }
-        });
-        break;
-      case 9:
-        atomic([&](Tx& tx) {
+          break;
+        }
+        case 9:
           if (bitmap.set(tx, key)) counter.add(tx, 1);
-        });
-        break;
-      case 10: {
-        // Allocation-heavy transaction with a nested child that sometimes
-        // partially aborts: exercises captured-memory undo in nested
-        // transactions plus alloc-log insert/erase under every log.
-        const bool abort_child = (step % 5) == 0;
-        atomic([&](Tx& tx) {
+          break;
+        case 10: {
+          // Allocation-heavy transaction with a nested child that sometimes
+          // partially aborts: exercises captured-memory undo in nested
+          // transactions plus alloc-log insert/erase under every log.
+          const bool abort_child = (step % 5) == 0;
           auto* scratch = static_cast<std::uint64_t*>(tx_malloc(tx, 256));
           for (int j = 0; j < 32; ++j) {
             tm_write(tx, &scratch[j], val + static_cast<std::uint64_t>(j),
@@ -185,24 +195,36 @@ RunOutcome run_workload(const TxConfig& cfg, int steps = kSteps) {
             if (abort_child) abort_tx();  // partial abort: both undone
           });
           std::uint64_t sum = 0;
-          for (int j = 0; j < 32; ++j) sum += tm_read(tx, &scratch[j], kAutoSite);
+          for (int j = 0; j < 32; ++j) {
+            sum += tm_read(tx, &scratch[j], kAutoSite);
+          }
           tx_free(tx, scratch);
           counter.add(tx, sum & 0xffff);
-        });
-        break;
-      }
-      default: {
-        // Deterministic top-level cancel: everything must roll back.
-        const bool cancel = (step % 3) == 0;
-        atomic([&](Tx& tx) {
+          break;
+        }
+        default: {
+          // Deterministic user abort: everything THIS OP did must roll
+          // back — via top-level cancel when direct, via the per-op
+          // compensation path when merged.
+          const bool cancel = (step % 3) == 0;
           counter.add(tx, 7);
           map.insert(tx, key ^ 0x80, val);
           if (cancel) abort_tx();
-        });
-        break;
+          break;
+        }
       }
+    };
+    if (batch == 0) {
+      atomic(body);
+    } else {
+      batcher.enqueue(std::move(body));
     }
   }
+  batcher.drain();
+
+  // Step-phase outcome counters, captured before digest folding adds its
+  // own transactions (the batched comparison asserts EXACT commit counts).
+  const TxStats step_stats = stats_snapshot();
 
   // Fold the complete final state.
   Digest d;
@@ -234,9 +256,9 @@ RunOutcome run_workload(const TxConfig& cfg, int steps = kSteps) {
   d.fold(bitmap.count_sequential());
   d.fold(counter.peek());
 
-  const TxStats s = stats_snapshot();
   set_global_config(TxConfig::baseline());
-  return RunOutcome{d.hash, s.commits, s.aborts};
+  return RunOutcome{d.hash, step_stats.commits, step_stats.aborts,
+                    step_stats.batch_ops, step_stats.batch_op_compensations};
 }
 
 TEST(Differential, AllBarrierPresetsProduceIdenticalState) {
@@ -258,6 +280,39 @@ TEST(Differential, AllBarrierPresetsProduceIdenticalState) {
         << name << " diverged from " << presets[0].first;
     EXPECT_EQ(out.commits, reference.commits)
         << name << " commit count diverged from " << presets[0].first;
+  }
+}
+
+// Batched variants: the SAME 12k-step stream pushed through
+// txbatch::Batcher at merge factors 1/8/64 must produce a bit-identical
+// digest and exactly predictable commit counts. Merging changes WHERE
+// transaction boundaries fall (ceil(steps/B) outer commits instead of one
+// per step) and HOW user aborts roll back (per-op compensation instead of
+// top-level cancel) — neither may change a single byte of final state, and
+// no op may be lost or double-run.
+TEST(Differential, BatchedExecutionMatchesUnbatchedExactly) {
+  const std::vector<std::pair<std::string, TxConfig>> cfgs = {
+      {"full", TxConfig::baseline()},
+      {"rw_tree", TxConfig::runtime_rw(AllocLogKind::kTree)},
+      {"static", TxConfig::compiler()},
+  };
+  for (const auto& [name, cfg] : cfgs) {
+    const RunOutcome ref = run_workload(cfg);
+    // Direct mode skips cancelled transactions' commits, so the cancel
+    // count falls out of the reference run itself.
+    const std::uint64_t cancels = kSteps - ref.commits;
+    ASSERT_GT(cancels, 0u);  // the compensation path must actually fire
+    for (const std::size_t b : {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+      SCOPED_TRACE(name + " @ batch " + std::to_string(b));
+      const RunOutcome out = run_workload(cfg, kSteps, b);
+      EXPECT_EQ(out.digest, ref.digest);
+      EXPECT_EQ(out.aborts, 0u);
+      // Exact outer-commit count: every batch commits, cancelled sub-ops
+      // included (their rollback is nested, not top-level).
+      EXPECT_EQ(out.commits, (kSteps + b - 1) / b);
+      EXPECT_EQ(out.batch_ops, static_cast<std::uint64_t>(kSteps));  // zero lost
+      EXPECT_EQ(out.compensated, cancels);
+    }
   }
 }
 
