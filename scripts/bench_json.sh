@@ -25,6 +25,12 @@
 #   property and the CI box has one core), TXBATCH_SCALE (default 4.0 —
 #   per-cell times of ~0.5 s, above the scheduler-jitter floor the gate
 #   comparison would otherwise drown in), TXBATCH_REPS (default = reps).
+# Environment overrides for the adaptive run (BENCH_adaptive.json — the
+# online capture-log policy vs the three hand-picked structures):
+#   ADAPTIVE_THREADS (default 1: the policy reacts to per-thread profiles
+#   and the CI box has one core, so single-thread is the stable cell),
+#   ADAPTIVE_SCALE (default 3.0, matching the fig11 structure sweep so the
+#   columns are comparable), ADAPTIVE_REPS (default = reps).
 # OUT_DIR (default repo root) redirects the written JSONs — used by
 # scripts/bench_gate.py so a gate run never clobbers the committed records.
 set -euo pipefail
@@ -39,11 +45,15 @@ fig11_reps="${FIG11_REPS:-5}"
 txbatch_threads="${TXBATCH_THREADS:-1}"
 txbatch_scale="${TXBATCH_SCALE:-4.0}"
 txbatch_reps="${TXBATCH_REPS:-$reps}"
+adaptive_threads="${ADAPTIVE_THREADS:-1}"
+adaptive_scale="${ADAPTIVE_SCALE:-3.0}"
+adaptive_reps="${ADAPTIVE_REPS:-$reps}"
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_fig10_single_thread \
-  bench_fig11a_scal_configs bench_fig11b_structures bench_txbatch_stream
+  bench_fig11a_scal_configs bench_fig11b_structures bench_txbatch_stream \
+  bench_adaptive
 
 ./build/bench_fig10_single_thread \
   --scale "$scale" --reps "$reps" --json "$out_dir/BENCH_fig10.json"
@@ -70,3 +80,8 @@ echo "wrote $out_dir/BENCH_fig11.json"
   --reps "$txbatch_reps" --threads "$txbatch_threads" \
   --json "$out_dir/BENCH_txbatch.json"
 echo "wrote $out_dir/BENCH_txbatch.json"
+
+./build/bench_adaptive --scale "$adaptive_scale" \
+  --reps "$adaptive_reps" --threads "$adaptive_threads" \
+  --json "$out_dir/BENCH_adaptive.json"
+echo "wrote $out_dir/BENCH_adaptive.json"

@@ -9,10 +9,11 @@
 #  * One mode per CI matrix cell: `release`, `asan`, `tsan` each configure
 #    the matching CMake preset with the -Werror gate enabled, build, and
 #    run ctest with --output-on-failure and the per-test TIMEOUTs/LABELS
-#    registered in CMakeLists.txt. The high-thread `stress` tier and the
-#    txbatch `batch` tier run in all three cells (the tsan preset excludes
-#    only bench-smoke), so the contention managers, the batched clock, and
-#    the merge layer's compensation path are raced under both sanitizers on
+#    registered in CMakeLists.txt. The high-thread `stress` tier, the
+#    txbatch `batch` tier, and the `adaptive` tier run in all three cells
+#    (the tsan preset excludes only bench-smoke), so the contention
+#    managers, the batched clock, the merge layer's compensation path, and
+#    the online log-selection policy are raced under both sanitizers on
 #    every push.
 #  * `release` additionally writes the static-analysis elision table and
 #    the (advisory) bench-gate report into ci-artifacts/ for the workflow
@@ -58,7 +59,7 @@ run_preset() {
   cmake --preset "$preset" -DCSTM_WERROR=ON
   echo "== ci.sh: build preset '$preset' =="
   cmake --build --preset "$preset" -j "$jobs"
-  echo "== ci.sh: ctest preset '$preset' (labels: unit, torture, stress, batch, bench-smoke) =="
+  echo "== ci.sh: ctest preset '$preset' (labels: unit, torture, stress, batch, adaptive, bench-smoke) =="
   ctest --preset "$preset" --output-on-failure
 }
 

@@ -1,0 +1,100 @@
+#include "capture/adaptive.hpp"
+
+namespace cstm {
+
+namespace {
+
+/// Saturating delta: a cumulative counter that moved backwards means
+/// stats_reset() ran mid-stream — treat the epoch as empty rather than
+/// wrapping to a huge unsigned value.
+std::uint64_t delta(std::uint64_t now, std::uint64_t before) {
+  return now >= before ? now - before : 0;
+}
+
+}  // namespace
+
+void AdaptiveLogPolicy::evaluate(const AdaptiveSample& cum) {
+  AdaptiveEpoch e;
+  e.txs = tuning_.epoch_txs != 0 ? tuning_.epoch_txs : 1;
+  e.allocs = delta(cum.allocs, snap_.allocs);
+  e.probes = delta(cum.probes, snap_.probes);
+  e.overflows = delta(cum.array_overflows, snap_.array_overflows);
+  e.filter_words = delta(cum.filter_words, snap_.filter_words);
+  snap_ = cum;
+  observe_epoch(e);
+}
+
+void AdaptiveLogPolicy::observe_epoch(const AdaptiveEpoch& e) {
+  ++epochs_;
+  const std::uint64_t txs = e.txs != 0 ? e.txs : 1;
+  const std::uint64_t allocs_per_tx = e.allocs / txs;
+  const std::uint64_t probes_per_tx = e.probes / txs;
+  const std::uint64_t words_per_tx = e.filter_words / txs;
+  const bool overflow = e.overflows > 0;
+
+  // Quiet = the average transaction's blocks fit the inline array and none
+  // were dropped. Only a streak of these decays; any loud epoch restarts it.
+  const bool quiet = !overflow && allocs_per_tx <= tuning_.array_fit_allocs;
+
+  // Precision pays when blocks are many but probes are few (the filter
+  // would mark every word of every block for checks that rarely happen) or
+  // when marking volume itself is the dominant cost.
+  const bool precision_pays =
+      (probes_per_tx < tuning_.low_probes_per_tx &&
+       allocs_per_tx >= tuning_.tree_allocs_per_tx) ||
+      words_per_tx >= tuning_.filter_words_per_tx;
+
+  switch (current_) {
+    case AllocLogKind::kArray:
+      quiet_streak_ = 0;  // the array IS the decayed state
+      if (overflow) {
+        switch_to(precision_pays ? AllocLogKind::kTree
+                                 : AllocLogKind::kFilter);
+      }
+      break;
+    case AllocLogKind::kFilter:
+      if (quiet) {
+        if (++quiet_streak_ >= tuning_.decay_epochs) {
+          quiet_streak_ = 0;
+          switch_to(AllocLogKind::kArray);
+        }
+      } else {
+        quiet_streak_ = 0;
+        if (precision_pays) switch_to(AllocLogKind::kTree);
+      }
+      break;
+    case AllocLogKind::kTree:
+      if (quiet) {
+        if (++quiet_streak_ >= tuning_.decay_epochs) {
+          quiet_streak_ = 0;
+          switch_to(AllocLogKind::kArray);
+        }
+      } else {
+        quiet_streak_ = 0;
+        if (probes_per_tx >= tuning_.high_probes_per_tx &&
+            words_per_tx < tuning_.filter_words_per_tx) {
+          switch_to(AllocLogKind::kFilter);
+        }
+      }
+      break;
+    case AllocLogKind::kAdaptive:
+      // current_ is always a concrete structure; restore the invariant.
+      current_ = AllocLogKind::kArray;
+      break;
+  }
+}
+
+void AdaptiveLogPolicy::apply_hint() {
+  if (current_ == AllocLogKind::kArray &&
+      hint_merge_ >= tuning_.batch_hint_min) {
+    // Merged transactions overflow the array before the first epoch ends;
+    // skip straight to the filter instead of paying an epoch of dropped
+    // blocks. Decay applies as usual if the merge factor shrinks again.
+    switch_to(AllocLogKind::kFilter);
+    quiet_streak_ = 0;
+  }
+  hint_pending_ = false;
+  hint_merge_ = 0;
+}
+
+}  // namespace cstm

@@ -1,0 +1,187 @@
+// Adaptive capture-log selection (ROADMAP direction 3).
+//
+// BENCH_fig11b's lesson is that no single allocation-log structure wins
+// everywhere: genome loses 46% runtime on the array and 52% on the filter
+// while the tree nearly breaks even; kmeans prefers the array; labyrinth the
+// tree; bayes barely cares. Until now the structure was a compile-time
+// preset the user had to hand-pick per workload. This file makes it an
+// online decision: a per-thread profile of the signals the CaptureFrame and
+// TxStats already centralize — allocations per transaction, barrier probe
+// volume, array-log overflow (ArrayAllocLog::dropped, previously a silent
+// conservative miss), filter marking pressure (FilterAllocLog::words_marked)
+// — feeds a hysteresis-guarded state machine that re-plans the log at
+// begin_top.
+//
+// Steady-state barriers stay zero-branch and vtable-free: the policy only
+// ever substitutes a CONCRETE AllocLogKind into the BarrierPlan compilation
+// (the kAdaptive tag never reaches a barrier), so the per-access fast paths
+// are the same PathSpec template instantiations the fixed presets use. The
+// entire adaptation cost is an inlined counter bump per top-level begin plus
+// one evaluation every `epoch_txs` transactions.
+//
+// The state machine (escalate fast, decay slow):
+//
+//             overflow burst                   probe volume high
+//    array ────────────────────▶ filter ◀──────────────────────── tree
+//      ▲ ▲                        │  │      few probes, many allocs,
+//      │ │                        │  └──────────────────────────────▶
+//      │ └────────────────────────┘          or heavy word marking
+//      └──────────────────────────────────────────────────────────┘
+//            `decay_epochs` CONSECUTIVE quiet epochs (from either)
+//
+// Escalation fires after a single pressure epoch (fast attack: every tx on
+// the wrong structure pays real barrier cost), while decay back to the array
+// requires `decay_epochs` consecutive quiet epochs (slow release). An
+// oscillation across the escalation threshold therefore causes at most one
+// switch per direction per decay window — the bounded-switching property
+// tests/test_adaptive.cpp proves.
+//
+// Switching structures is always SAFE, never a correctness decision: every
+// log obeys the conservativeness contract (false negatives only), so the
+// worst a bad choice costs is elision opportunity. That is what lets the
+// differential suite demand bit-identical results from adaptive and
+// fixed-log runs of the same workload.
+#pragma once
+
+#include <cstdint>
+
+#include "capture/alloc_log.hpp"
+#include "capture/array_log.hpp"
+
+namespace cstm {
+
+/// Thresholds of the escalation/decay state machine. Defaults are derived
+/// from structure geometry (array capacity, filter marking cost) rather
+/// than tuned per app — the policy must help the apps fig11b shows
+/// diverging without per-workload knobs. All "per tx" values compare
+/// against per-epoch averages.
+struct AdaptiveTuning {
+  /// Transactions per profiling epoch. Policy work (a dozen compares) runs
+  /// once per epoch; everything else is one increment per begin_top.
+  std::uint32_t epoch_txs = 32;
+
+  /// Consecutive quiet epochs before decaying back to the array.
+  std::uint32_t decay_epochs = 4;
+
+  /// An epoch is "quiet" when the average transaction's allocations fit the
+  /// inline array and no overflow occurred.
+  std::uint64_t array_fit_allocs = ArrayAllocLog::kCapacity;
+
+  /// Below this probe volume the per-probe advantage of filter/array over
+  /// the tree stops mattering; with many allocations the tree's precise
+  /// O(log n) ranges beat marking every word of every block.
+  std::uint64_t low_probes_per_tx = 64;
+
+  /// Above this probe volume the filter's O(1) probe beats the tree's
+  /// O(log n) walk regardless of allocation pattern.
+  std::uint64_t high_probes_per_tx = 1024;
+
+  /// Allocations per tx past which an overflowing array escalates to the
+  /// tree rather than the filter (when probes are also low): the tree logs
+  /// one range per block; the filter pays per word.
+  std::uint64_t tree_allocs_per_tx = 32;
+
+  /// Filter words marked per tx past which insertion cost dominates and the
+  /// tree's range representation wins (large-block workloads).
+  std::uint64_t filter_words_per_tx = 512;
+
+  /// txbatch hint: a merge factor at or above this pre-escalates array →
+  /// filter, because a merged transaction's allocation footprint is the sum
+  /// of its sub-ops' and will not fit one cache line.
+  std::uint64_t batch_hint_min = 2 * ArrayAllocLog::kCapacity;
+};
+
+/// Cumulative per-thread counters sampled at begin_top. The policy works on
+/// epoch DELTAS, so the sources may be the live TxStats counters; a
+/// stats_reset() mid-run shows up as a backwards jump and yields one empty
+/// epoch instead of garbage.
+struct AdaptiveSample {
+  std::uint64_t allocs = 0;           // TxStats::tx_allocs
+  std::uint64_t probes = 0;           // TxStats::reads + writes
+  std::uint64_t array_overflows = 0;  // TxStats::array_overflows
+  std::uint64_t filter_words = 0;     // FilterAllocLog::words_marked
+};
+
+/// One profiling epoch, as deltas. on_begin derives these from cumulative
+/// samples; unit tests feed synthetic epochs to observe_epoch directly.
+struct AdaptiveEpoch {
+  std::uint64_t txs = 1;
+  std::uint64_t allocs = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t overflows = 0;
+  std::uint64_t filter_words = 0;
+};
+
+class AdaptiveLogPolicy {
+ public:
+  AdaptiveLogPolicy() = default;
+  explicit AdaptiveLogPolicy(const AdaptiveTuning& t) : tuning_(t) {}
+
+  /// The concrete structure transactions should run on right now. Never
+  /// kAdaptive.
+  AllocLogKind current() const { return current_; }
+
+  std::uint64_t switches() const { return switches_; }
+  std::uint64_t epochs() const { return epochs_; }
+  const AdaptiveTuning& tuning() const { return tuning_; }
+  void set_tuning(const AdaptiveTuning& t) { tuning_ = t; }
+
+  /// Back to the start state (array, empty streaks, no pending hint).
+  /// Called when the global config changes so every run of a workload sees
+  /// the same deterministic decision sequence. Tuning is preserved.
+  void reset() {
+    current_ = AllocLogKind::kArray;
+    snap_ = AdaptiveSample{};
+    txs_in_epoch_ = 0;
+    quiet_streak_ = 0;
+    hint_merge_ = 0;
+    hint_pending_ = false;
+  }
+
+  /// Per-top-level-begin fast path: one increment until the epoch rolls
+  /// over, then one evaluation. Returns the structure to compile into the
+  /// plan.
+  AllocLogKind on_begin(const AdaptiveSample& cum) {
+    if (hint_pending_) apply_hint();
+    if (++txs_in_epoch_ >= tuning_.epoch_txs) {
+      txs_in_epoch_ = 0;
+      evaluate(cum);
+    }
+    return current_;
+  }
+
+  /// Workload hint from the txbatch merge layer: the next flush merges
+  /// @p merge_factor ops into one transaction, multiplying its allocation
+  /// footprint before any counter can show it. Applied at the next
+  /// on_begin (the policy is only consulted between transactions).
+  void note_batch(std::uint64_t merge_factor) {
+    if (merge_factor > hint_merge_) hint_merge_ = merge_factor;
+    hint_pending_ = true;
+  }
+
+  /// One step of the state machine on an explicit epoch (the unit-testable
+  /// core; on_begin feeds it real counter deltas).
+  void observe_epoch(const AdaptiveEpoch& e);
+
+ private:
+  void evaluate(const AdaptiveSample& cum);
+  void apply_hint();
+  void switch_to(AllocLogKind k) {
+    if (k != current_) {
+      current_ = k;
+      ++switches_;
+    }
+  }
+
+  AdaptiveTuning tuning_{};
+  AllocLogKind current_ = AllocLogKind::kArray;
+  AdaptiveSample snap_{};       // counters at the last epoch boundary
+  std::uint32_t txs_in_epoch_ = 0;
+  std::uint32_t quiet_streak_ = 0;
+  std::uint64_t switches_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t hint_merge_ = 0;
+  bool hint_pending_ = false;
+};
+
+}  // namespace cstm

@@ -30,6 +30,7 @@ class ArrayAllocLog {
         r.begin = begin;
         r.end = begin + size;
         ++count_;
+        if (count_ > peak_) peak_ = count_;
         return;
       }
     }
@@ -63,8 +64,14 @@ class ArrayAllocLog {
   std::size_t entries() const { return count_; }
   const char* name() const { return "array"; }
 
-  /// Cumulative number of allocations that did not fit (diagnostic).
+  /// Cumulative number of allocations that did not fit (diagnostic; clear()
+  /// does NOT reset it, so the adaptive policy and TxStats::array_overflows
+  /// read per-epoch overflow pressure as deltas of this counter).
   std::uint64_t dropped() const { return dropped_; }
+
+  /// High-water mark of entries() since construction (diagnostic: how close
+  /// the workload comes to the one-cache-line capacity without overflowing).
+  std::size_t peak() const { return peak_; }
 
  private:
   struct Range {
@@ -74,6 +81,7 @@ class ArrayAllocLog {
 
   alignas(kCacheLineSize) Range ranges_[kCapacity] = {};
   std::size_t count_ = 0;
+  std::size_t peak_ = 0;
   std::uint64_t dropped_ = 0;
 };
 

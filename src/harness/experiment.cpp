@@ -35,6 +35,15 @@ Options parse_options(int argc, char** argv) {
           std::strtoull(need_value("--batch"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json = need_value("--json");
+    } else if (std::strcmp(argv[i], "--capture-log") == 0) {
+      opt.capture_log = need_value("--capture-log");
+      AllocLogKind parsed;
+      if (!alloc_log_from_name(opt.capture_log, &parsed)) {
+        std::fprintf(stderr,
+                     "--capture-log wants tree|array|filter|adaptive, got %s\n",
+                     opt.capture_log.c_str());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       // ctest bit-rot gate: exercise every code path in seconds, not minutes.
       opt.scale = 0.01;
@@ -43,7 +52,8 @@ Options parse_options(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--reps N] [--threads T] [--seed X] "
-                   "[--batch B] [--json FILE] [--smoke]\n",
+                   "[--batch B] [--capture-log tree|array|filter|adaptive] "
+                   "[--json FILE] [--smoke]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -390,8 +400,14 @@ void txbatch_stream(const Options& opt) {
   // MISSES, and a log whose miss cost grows with the merged footprint (the
   // tree) would charge the batch for its own size, burying the fixed-cost
   // amortization this experiment exists to show. (The bounded array log is
-  // out too — it overflows outright at batch 64.)
-  const TxConfig cfg = TxConfig::runtime_rw(AllocLogKind::kFilter);
+  // out too — it overflows outright at batch 64.) --capture-log overrides,
+  // e.g. `adaptive` lets the online policy track the merge factor itself
+  // (Batcher::flush feeds it the batch size as a pre-escalation hint).
+  AllocLogKind log_kind = AllocLogKind::kFilter;
+  if (!opt.capture_log.empty()) {
+    alloc_log_from_name(opt.capture_log, &log_kind);  // validated at parse
+  }
+  const TxConfig cfg = TxConfig::runtime_rw(log_kind);
   std::vector<std::size_t> batches;
   if (opt.batch > 0) {
     batches.push_back(opt.batch);
@@ -401,13 +417,14 @@ void txbatch_stream(const Options& opt) {
   const std::vector<std::string> apps = {"vacation-low", "intruder"};
 
   std::printf("# txbatch: request-stream throughput vs merge factor "
-              "(%d thread%s, runtime stack+heap RW, filter log)\n",
-              opt.threads, opt.threads == 1 ? "" : "s");
+              "(%d thread%s, runtime stack+heap RW, %s log)\n",
+              opt.threads, opt.threads == 1 ? "" : "s", to_string(log_kind));
   std::printf("# capture-hit%% = accesses hitting captured (tx-local "
-              "stack/heap) memory; elided%% = any elision mechanism\n");
-  std::printf("%-15s %6s %10s %12s %12s %9s %10s %8s %9s %7s\n", "app",
+              "stack/heap) memory; elided%% = any elision mechanism; "
+              "ovf%% = allocations dropped by a full array log\n");
+  std::printf("%-15s %6s %10s %12s %12s %9s %10s %6s %8s %9s %7s\n", "app",
               "batch", "seconds", "requests", "req/s", "cap-hit%", "elided%",
-              "commits", "flushes", "comp");
+              "ovf%", "commits", "flushes", "comp");
 
   std::FILE* json = nullptr;
   if (!opt.json.empty()) {
@@ -442,10 +459,11 @@ void txbatch_stream(const Options& opt) {
       std::sort(times.begin(), times.end());
       const double secs = times[times.size() / 2];
       const double rps = secs > 0.0 ? static_cast<double>(requests) / secs : 0.0;
-      std::printf("%-15s %6zu %10.4f %12llu %12.0f %9.1f %10.1f %8llu %9llu %7llu\n",
+      std::printf("%-15s %6zu %10.4f %12llu %12.0f %9.1f %10.1f %6.1f %8llu %9llu %7llu\n",
                   app.c_str(), batch, secs,
                   static_cast<unsigned long long>(requests), rps,
                   stats.capture_hit_percent(), stats.elided_percent(),
+                  stats.capture_overflow_percent(),
                   static_cast<unsigned long long>(stats.commits),
                   static_cast<unsigned long long>(stats.batch_flushes),
                   static_cast<unsigned long long>(stats.batch_op_compensations));
@@ -468,6 +486,112 @@ void txbatch_stream(const Options& opt) {
         first_row = false;
       }
     }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("# wrote %s\n", opt.json.c_str());
+  }
+}
+
+void adaptive_sweep(const Options& opt) {
+  // The online policy against each hand-picked structure, in the fig11b
+  // family (write barriers only, tx-local heap only) where the structure
+  // choice dominates the outcome. The contract being measured: adaptive
+  // should track the best fixed log everywhere and beat the worst one on
+  // the apps fig11b shows diverging (genome, bayes) — without per-workload
+  // tuning.
+  std::vector<std::pair<std::string, TxConfig>> configs = {
+      {"tree", TxConfig::runtime_heap_w(AllocLogKind::kTree)},
+      {"array", TxConfig::runtime_heap_w(AllocLogKind::kArray)},
+      {"filter", TxConfig::runtime_heap_w(AllocLogKind::kFilter)},
+      {"adaptive", TxConfig::runtime_heap_w(AllocLogKind::kAdaptive)},
+  };
+  if (!opt.capture_log.empty()) {
+    std::erase_if(configs, [&](const auto& c) {
+      return c.first != opt.capture_log;
+    });
+  }
+
+  std::printf("# Adaptive capture-log selection: improvement over baseline "
+              "at %d thread%s (runtime heap-W family)\n",
+              opt.threads, opt.threads == 1 ? "" : "s");
+  std::printf("# profile: %% of adaptive transactions run on each structure "
+              "(a=array f=filter t=tree), plan switches,\n"
+              "# array-overflow%% of allocations, capture-hit%% of accesses\n");
+  std::printf("%-15s", "app");
+  for (const auto& [name, cfg] : configs) std::printf(" %9s", name.c_str());
+  std::printf("   profile a/f/t%%      sw   ovf%%   cap%%\n");
+
+  std::FILE* json = nullptr;
+  if (!opt.json.empty()) {
+    json = std::fopen(opt.json.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opt.json.c_str());
+      std::exit(1);
+    }
+    std::fprintf(json,
+                 "{\n  \"experiment\": \"adaptive\",\n  \"scale\": %g,\n"
+                 "  \"threads\": %d,\n  \"reps\": %d,\n  \"seed\": %llu,\n"
+                 "  \"rows\": [",
+                 opt.scale, opt.threads, opt.reps,
+                 static_cast<unsigned long long>(opt.seed));
+  }
+  bool first_row = true;
+  for (const auto& app : stamp::app_names()) {
+    const double base = median_seconds(app, opt.threads, TxConfig::baseline(), opt);
+    std::printf("%-15s", app.c_str());
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s\n    {\"app\": \"%s\", \"baseline_seconds\": %.6f, "
+                   "\"improvement_percent\": {",
+                   first_row ? "" : ",", app.c_str(), base);
+      first_row = false;
+    }
+    TxStats adaptive_stats;
+    bool have_adaptive = false;
+    bool first_cfg = true;
+    for (const auto& [name, cfg] : configs) {
+      TxStats stats;
+      const double t = median_seconds(app, opt.threads, cfg, opt, &stats);
+      const double improvement = (base / t - 1.0) * 100.0;
+      std::printf(" %8.1f%%", improvement);
+      if (name == "adaptive") {
+        adaptive_stats = stats;
+        have_adaptive = true;
+      }
+      if (json != nullptr) {
+        std::fprintf(json, "%s\"%s\": %.2f", first_cfg ? "" : ", ",
+                     name.c_str(), improvement);
+        first_cfg = false;
+      }
+    }
+    if (json != nullptr) std::fprintf(json, "}");
+    if (have_adaptive) {
+      const TxStats& s = adaptive_stats;
+      const std::uint64_t atxs = s.adaptive_txs_array + s.adaptive_txs_filter +
+                                 s.adaptive_txs_tree;
+      std::printf("   %3.0f/%3.0f/%3.0f %9llu %6.1f %6.1f",
+                  pct(s.adaptive_txs_array, atxs),
+                  pct(s.adaptive_txs_filter, atxs),
+                  pct(s.adaptive_txs_tree, atxs),
+                  static_cast<unsigned long long>(s.adaptive_switches),
+                  s.capture_overflow_percent(), s.capture_hit_percent());
+      if (json != nullptr) {
+        std::fprintf(
+            json,
+            ", \"adaptive_profile\": {\"switches\": %llu, "
+            "\"txs_array\": %llu, \"txs_filter\": %llu, \"txs_tree\": %llu, "
+            "\"array_overflow_percent\": %.2f, \"capture_hit_percent\": %.2f}",
+            static_cast<unsigned long long>(s.adaptive_switches),
+            static_cast<unsigned long long>(s.adaptive_txs_array),
+            static_cast<unsigned long long>(s.adaptive_txs_filter),
+            static_cast<unsigned long long>(s.adaptive_txs_tree),
+            s.capture_overflow_percent(), s.capture_hit_percent());
+      }
+    }
+    std::printf("  (baseline %.4fs)\n", base);
+    if (json != nullptr) std::fprintf(json, "}");
   }
   if (json != nullptr) {
     std::fprintf(json, "\n  ]\n}\n");

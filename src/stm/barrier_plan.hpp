@@ -54,7 +54,24 @@ struct BarrierPlan {
 
   /// Resolves a TxConfig into its plan. Constexpr so preset→path mappings
   /// can be checked at compile time (see tests/test_stm_basic.cpp).
+  ///
+  /// The kAdaptive tag resolves HERE, to whatever concrete structure the
+  /// caller substituted; compiling a raw adaptive config yields the
+  /// policy's start state (the array), so the first transaction after a
+  /// config switch is well-defined and deterministic. begin_top re-invokes
+  /// compile with the policy's current choice whenever it moves — that is
+  /// the whole re-specialization hook: plans change between transactions,
+  /// barriers never dispatch on anything but the compiled plan.
   static constexpr BarrierPlan compile(const TxConfig& cfg) {
+    TxConfig c = cfg;
+    if (c.alloc_log == AllocLogKind::kAdaptive) {
+      c.alloc_log = AllocLogKind::kArray;  // AdaptiveLogPolicy's start state
+    }
+    return compile_concrete(c);
+  }
+
+ private:
+  static constexpr BarrierPlan compile_concrete(const TxConfig& cfg) {
     BarrierPlan p;
     p.cm = cfg.contention;
     p.log = cfg.count_mode ? ActiveLog::kTree  // precise classification
@@ -89,6 +106,7 @@ struct BarrierPlan {
       case AllocLogKind::kTree: return ActiveLog::kTree;
       case AllocLogKind::kArray: return ActiveLog::kArray;
       case AllocLogKind::kFilter: return ActiveLog::kFilter;
+      case AllocLogKind::kAdaptive: return ActiveLog::kArray;  // start state
     }
     return ActiveLog::kTree;
   }

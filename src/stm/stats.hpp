@@ -45,6 +45,21 @@ struct TxStats {
   std::uint64_t tx_allocs = 0;
   std::uint64_t tx_frees = 0;
 
+  // Allocations the inline array log could not track (ArrayAllocLog's
+  // dropped counter, sampled per transaction at reset). Each one is a
+  // conservative miss: the block's accesses pay full barriers. Before this
+  // counter an overflowing array silently degraded capture-hit% with zero
+  // observability.
+  std::uint64_t array_overflows = 0;
+
+  // Adaptive capture-log selection (capture/adaptive.hpp): structure
+  // switches applied at begin_top, and how many top-level transactions ran
+  // on each concrete structure while the kAdaptive tag was configured.
+  std::uint64_t adaptive_switches = 0;
+  std::uint64_t adaptive_txs_tree = 0;
+  std::uint64_t adaptive_txs_array = 0;
+  std::uint64_t adaptive_txs_filter = 0;
+
   // Epoch-batched clock traffic (gclock.hpp): shared-counter range
   // reservations, stale ranges discarded without stamping, and lazy
   // read-set revalidations (Tx::extend) against the published epoch.
@@ -103,6 +118,15 @@ struct TxStats {
                                static_cast<double>(accesses);
   }
 
+  /// Percentage of in-transaction allocations the inline array log dropped
+  /// on overflow. Non-zero means the array is undersized for this workload
+  /// — exactly the signal that makes the adaptive policy escalate.
+  double capture_overflow_percent() const {
+    return tx_allocs == 0 ? 0.0
+                          : 100.0 * static_cast<double>(array_overflows) /
+                                static_cast<double>(tx_allocs);
+  }
+
   /// Percentage of instrumented accesses elided by ANY mechanism (capture,
   /// private-region annotations, static verdicts).
   double elided_percent() const {
@@ -137,6 +161,11 @@ struct TxStats {
     write_required += o.write_required;
     tx_allocs += o.tx_allocs;
     tx_frees += o.tx_frees;
+    array_overflows += o.array_overflows;
+    adaptive_switches += o.adaptive_switches;
+    adaptive_txs_tree += o.adaptive_txs_tree;
+    adaptive_txs_array += o.adaptive_txs_array;
+    adaptive_txs_filter += o.adaptive_txs_filter;
     clock_reservations += o.clock_reservations;
     clock_stale_discards += o.clock_stale_discards;
     lazy_revalidations += o.lazy_revalidations;

@@ -1,0 +1,317 @@
+// Adaptive capture-log selection (capture/adaptive.hpp): the hysteresis
+// state machine in isolation (synthetic epochs through observe_epoch) and
+// the full stack end to end (real transactions driving escalation, decay,
+// counters and plan re-specialization through begin_top).
+//
+// The two properties ISSUE 8 demands proof of:
+//  * monotone escalation — an overflow burst moves array → filter once and
+//    stays there while pressure persists;
+//  * bounded switching — a workload oscillating across the escalation
+//    threshold causes at most one switch per direction per decay window
+//    (fast attack, slow release; no thrash).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "capture/adaptive.hpp"
+#include "stm/stm.hpp"
+
+namespace cstm {
+namespace {
+
+// Small, fast tuning for the synthetic tests (semantics identical to the
+// defaults; only thresholds shrink).
+AdaptiveTuning test_tuning() {
+  AdaptiveTuning t;
+  t.epoch_txs = 8;
+  t.decay_epochs = 3;
+  t.array_fit_allocs = 4;
+  t.low_probes_per_tx = 16;
+  t.high_probes_per_tx = 256;
+  t.tree_allocs_per_tx = 8;
+  t.filter_words_per_tx = 128;
+  t.batch_hint_min = 8;
+  return t;
+}
+
+AdaptiveEpoch quiet_epoch() {
+  AdaptiveEpoch e;
+  e.txs = 8;
+  e.allocs = 8;    // 1 alloc/tx: fits the array
+  e.probes = 400;  // 50 probes/tx: unremarkable
+  return e;
+}
+
+AdaptiveEpoch overflow_epoch() {
+  AdaptiveEpoch e;
+  e.txs = 8;
+  e.allocs = 48;  // 6 allocs/tx: > array_fit, < tree_allocs
+  e.probes = 800;
+  e.overflows = 5;
+  return e;
+}
+
+// -- State machine in isolation ---------------------------------------------
+
+TEST(AdaptivePolicy, StartsOnArray) {
+  AdaptiveLogPolicy p(test_tuning());
+  EXPECT_EQ(p.current(), AllocLogKind::kArray);
+  EXPECT_EQ(p.switches(), 0u);
+}
+
+TEST(AdaptivePolicy, MonotoneEscalationOnOverflowBurst) {
+  AdaptiveLogPolicy p(test_tuning());
+  for (int i = 0; i < 10; ++i) {
+    p.observe_epoch(overflow_epoch());
+    EXPECT_EQ(p.current(), AllocLogKind::kFilter) << "epoch " << i;
+  }
+  // One switch for the whole burst: escalation is monotone, not per-epoch.
+  EXPECT_EQ(p.switches(), 1u);
+}
+
+TEST(AdaptivePolicy, OverflowWithFewProbesAndManyAllocsPicksTree) {
+  AdaptiveLogPolicy p(test_tuning());
+  AdaptiveEpoch e = overflow_epoch();
+  e.allocs = 100;  // 12 allocs/tx >= tree_allocs_per_tx
+  e.probes = 80;   // 10 probes/tx < low_probes_per_tx
+  p.observe_epoch(e);
+  EXPECT_EQ(p.current(), AllocLogKind::kTree);
+}
+
+TEST(AdaptivePolicy, FilterEscalatesToTreeOnMarkingPressure) {
+  AdaptiveLogPolicy p(test_tuning());
+  p.observe_epoch(overflow_epoch());
+  ASSERT_EQ(p.current(), AllocLogKind::kFilter);
+  AdaptiveEpoch heavy = overflow_epoch();
+  heavy.filter_words = 8 * 200;  // 200 words/tx >= filter_words_per_tx
+  p.observe_epoch(heavy);
+  EXPECT_EQ(p.current(), AllocLogKind::kTree);
+}
+
+TEST(AdaptivePolicy, TreeEscalatesToFilterOnProbeVolume) {
+  AdaptiveLogPolicy p(test_tuning());
+  AdaptiveEpoch to_tree = overflow_epoch();
+  to_tree.allocs = 100;
+  to_tree.probes = 80;
+  p.observe_epoch(to_tree);
+  ASSERT_EQ(p.current(), AllocLogKind::kTree);
+  AdaptiveEpoch probing = overflow_epoch();
+  probing.probes = 8 * 300;  // 300 probes/tx >= high_probes_per_tx
+  p.observe_epoch(probing);
+  EXPECT_EQ(p.current(), AllocLogKind::kFilter);
+}
+
+TEST(AdaptivePolicy, DecayRequiresConsecutiveQuietEpochs) {
+  AdaptiveLogPolicy p(test_tuning());
+  p.observe_epoch(overflow_epoch());
+  ASSERT_EQ(p.current(), AllocLogKind::kFilter);
+  // decay_epochs - 1 quiet epochs: not enough.
+  p.observe_epoch(quiet_epoch());
+  p.observe_epoch(quiet_epoch());
+  EXPECT_EQ(p.current(), AllocLogKind::kFilter);
+  // A loud epoch resets the streak.
+  p.observe_epoch(overflow_epoch());
+  p.observe_epoch(quiet_epoch());
+  p.observe_epoch(quiet_epoch());
+  EXPECT_EQ(p.current(), AllocLogKind::kFilter);
+  // Three CONSECUTIVE quiet epochs decay.
+  p.observe_epoch(quiet_epoch());
+  EXPECT_EQ(p.current(), AllocLogKind::kArray);
+}
+
+TEST(AdaptivePolicy, TreeDecaysToArrayToo) {
+  AdaptiveLogPolicy p(test_tuning());
+  AdaptiveEpoch to_tree = overflow_epoch();
+  to_tree.allocs = 100;
+  to_tree.probes = 80;
+  p.observe_epoch(to_tree);
+  ASSERT_EQ(p.current(), AllocLogKind::kTree);
+  for (int i = 0; i < 3; ++i) p.observe_epoch(quiet_epoch());
+  EXPECT_EQ(p.current(), AllocLogKind::kArray);
+}
+
+// The headline hysteresis property: oscillating across the escalation
+// threshold at the fastest possible rate still bounds switching to one per
+// direction per decay window.
+TEST(AdaptivePolicy, OscillationCausesAtMostOneSwitchPerDirectionPerWindow) {
+  const AdaptiveTuning t = test_tuning();
+  AdaptiveLogPolicy p(t);
+  // Strict alternation (loud, quiet, loud, quiet, ...): the quiet streak
+  // never reaches decay_epochs, so after the FIRST escalation the policy
+  // must simply stay put.
+  p.observe_epoch(overflow_epoch());
+  ASSERT_EQ(p.current(), AllocLogKind::kFilter);
+  for (int i = 0; i < 100; ++i) {
+    p.observe_epoch(i % 2 == 0 ? quiet_epoch() : overflow_epoch());
+  }
+  EXPECT_EQ(p.current(), AllocLogKind::kFilter);
+  EXPECT_EQ(p.switches(), 1u);  // the initial escalation, nothing since
+
+  // Slowest oscillation that still decays: decay_epochs quiet then one
+  // loud. Each full cycle (decay_epochs + 1 epochs) can move the policy at
+  // most down once and up once.
+  AdaptiveLogPolicy q(t);
+  const int cycles = 25;
+  for (int c = 0; c < cycles; ++c) {
+    q.observe_epoch(overflow_epoch());
+    for (std::uint32_t i = 0; i < t.decay_epochs; ++i) {
+      q.observe_epoch(quiet_epoch());
+    }
+  }
+  EXPECT_LE(q.switches(), static_cast<std::uint64_t>(2 * cycles));
+  EXPECT_GE(q.switches(), 2u);  // it does adapt — both directions fired
+}
+
+TEST(AdaptivePolicy, ResetRestoresStartStateKeepsTuning) {
+  AdaptiveLogPolicy p(test_tuning());
+  p.observe_epoch(overflow_epoch());
+  ASSERT_EQ(p.current(), AllocLogKind::kFilter);
+  p.reset();
+  EXPECT_EQ(p.current(), AllocLogKind::kArray);
+  EXPECT_EQ(p.tuning().epoch_txs, 8u);
+  // switches() is a lifetime diagnostic and survives reset.
+  EXPECT_EQ(p.switches(), 1u);
+}
+
+TEST(AdaptivePolicy, BatchHintPreEscalatesArrayToFilter) {
+  AdaptiveLogPolicy p(test_tuning());
+  p.note_batch(64);  // >= batch_hint_min
+  EXPECT_EQ(p.on_begin(AdaptiveSample{}), AllocLogKind::kFilter);
+  AdaptiveLogPolicy q(test_tuning());
+  q.note_batch(2);  // below the hint threshold: no-op
+  EXPECT_EQ(q.on_begin(AdaptiveSample{}), AllocLogKind::kArray);
+}
+
+TEST(AdaptivePolicy, OnBeginEvaluatesOncePerEpoch) {
+  AdaptiveLogPolicy p(test_tuning());
+  AdaptiveSample cum;
+  // 7 begins: inside the first epoch, no evaluation yet.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(p.on_begin(cum), AllocLogKind::kArray);
+  }
+  EXPECT_EQ(p.epochs(), 0u);
+  // The 8th begin closes the epoch; the cumulative counters show overflow,
+  // so the NEXT transaction runs on the filter.
+  cum.allocs = 48;
+  cum.probes = 800;
+  cum.array_overflows = 5;
+  EXPECT_EQ(p.on_begin(cum), AllocLogKind::kFilter);
+  EXPECT_EQ(p.epochs(), 1u);
+}
+
+TEST(AdaptivePolicy, CounterResetMidRunYieldsEmptyEpochNotGarbage) {
+  AdaptiveLogPolicy p(test_tuning());
+  AdaptiveSample cum;
+  cum.allocs = 1000;
+  cum.probes = 5000;
+  cum.array_overflows = 50;
+  for (int i = 0; i < 8; ++i) p.on_begin(cum);  // epoch 1: escalates
+  EXPECT_EQ(p.current(), AllocLogKind::kFilter);
+  // stats_reset() between runs: cumulative counters jump BACKWARDS. The
+  // saturating delta must read this as a quiet epoch, not a 2^64 overflow.
+  AdaptiveSample reset;
+  for (int i = 0; i < 8; ++i) p.on_begin(reset);
+  EXPECT_EQ(p.current(), AllocLogKind::kFilter);  // one quiet epoch: no decay
+  EXPECT_EQ(p.switches(), 1u);
+}
+
+// -- End to end through the STM ---------------------------------------------
+
+class AdaptiveIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TxConfig cfg = TxConfig::runtime_rw(AllocLogKind::kAdaptive);
+    set_global_config(cfg);
+    // One throwaway transaction so begin_top picks the config up (and
+    // resets the policy); THEN install the fast test tuning.
+    atomic([](Tx&) {});
+    current_tx().adapt.set_tuning(test_tuning());
+    stats_reset();
+  }
+  void TearDown() override { set_global_config(TxConfig::baseline()); }
+
+  // One transaction allocating @p blocks heap blocks and writing them.
+  static void alloc_heavy_tx(std::size_t blocks) {
+    atomic([&](Tx& tx) {
+      void* ptrs[16];
+      for (std::size_t i = 0; i < blocks; ++i) {
+        ptrs[i] = tx_malloc(tx, 64);
+        tm_write(tx, static_cast<std::uint64_t*>(ptrs[i]), std::uint64_t{i});
+      }
+      for (std::size_t i = 0; i < blocks; ++i) tx_free(tx, ptrs[i]);
+    });
+  }
+};
+
+TEST_F(AdaptiveIntegration, EscalatesOnOverflowThenDecaysWhenQuiet) {
+  // Phase 1: every transaction allocates 12 blocks — triple the array's
+  // capacity — so dropped() grows and the first epoch boundary escalates.
+  for (int i = 0; i < 4 * 8; ++i) alloc_heavy_tx(12);
+  EXPECT_NE(current_tx().adapt.current(), AllocLogKind::kArray);
+  TxStats s = stats_snapshot();
+  EXPECT_GT(s.array_overflows, 0u);
+  EXPECT_GE(s.adaptive_switches, 1u);
+  EXPECT_GT(s.adaptive_txs_array, 0u);  // the pre-escalation prefix
+  EXPECT_GT(s.adaptive_txs_filter + s.adaptive_txs_tree, 0u);
+
+  // Phase 2: allocation-free transactions. After decay_epochs quiet epochs
+  // the policy must be back on the array.
+  for (int i = 0; i < 8 * 8; ++i) {
+    atomic([](Tx&) {});
+  }
+  EXPECT_EQ(current_tx().adapt.current(), AllocLogKind::kArray);
+}
+
+TEST_F(AdaptiveIntegration, ArrayOverflowCounterSurfacesInStats) {
+  // Fixed-array config (not adaptive): the overflow counter must fill in
+  // even without the policy — it is the observability satellite.
+  set_global_config(TxConfig::runtime_rw(AllocLogKind::kArray));
+  atomic([](Tx&) {});
+  stats_reset();
+  for (int i = 0; i < 10; ++i) alloc_heavy_tx(12);
+  const TxStats s = stats_snapshot();
+  // 12 allocs/tx against capacity 4: 8 drops per transaction.
+  EXPECT_EQ(s.array_overflows, 10u * 8u);
+  EXPECT_GT(s.tx_allocs, 0u);
+  EXPECT_NEAR(s.capture_overflow_percent(), 100.0 * 80.0 / 120.0, 0.01);
+}
+
+TEST_F(AdaptiveIntegration, SwitchingPreservesOutcomes) {
+  // A value computed across the escalation boundary must match a fixed-log
+  // run exactly. (The 12k-step differential suite is the real gate; this is
+  // the fast smoke for the same property.)
+  auto run = [](const TxConfig& cfg) {
+    set_global_config(cfg);
+    atomic([](Tx&) {});
+    tvar<std::uint64_t> acc{0};
+    for (int i = 0; i < 100; ++i) {
+      atomic([&](Tx& tx) {
+        auto* block = static_cast<std::uint64_t*>(tx_malloc(tx, 64));
+        for (int j = 0; j < 8; ++j) {
+          tm_write(tx, &block[j], static_cast<std::uint64_t>(i + j));
+        }
+        std::uint64_t sum = 0;
+        for (int j = 0; j < 8; ++j) sum += tm_read(tx, &block[j]);
+        acc.set(tx, acc.get(tx) + sum);
+        tx_free(tx, block);
+      });
+    }
+    std::uint64_t out = 0;
+    atomic([&](Tx& tx) { out = acc.get(tx); });
+    return out;
+  };
+  const std::uint64_t adaptive = run(TxConfig::runtime_rw(AllocLogKind::kAdaptive));
+  const std::uint64_t tree = run(TxConfig::runtime_rw(AllocLogKind::kTree));
+  EXPECT_EQ(adaptive, tree);
+}
+
+TEST_F(AdaptiveIntegration, PlanDistributionCountersCoverEveryAdaptiveTx) {
+  const int txs = 50;
+  for (int i = 0; i < txs; ++i) alloc_heavy_tx(2);
+  const TxStats s = stats_snapshot();
+  EXPECT_EQ(s.adaptive_txs_array + s.adaptive_txs_filter + s.adaptive_txs_tree,
+            static_cast<std::uint64_t>(txs));
+}
+
+}  // namespace
+}  // namespace cstm

@@ -385,6 +385,85 @@ TEST(FilterLog, LargeBlockInsertionCapIsConservative) {
 }
 
 // ---------------------------------------------------------------------------
+// Filter occupancy across the epoch-reset path (regression: the adaptive
+// policy and stats read these, and both used to lie after clear()).
+// ---------------------------------------------------------------------------
+
+TEST(FilterLog, OccupancyResetsWithEpochClear) {
+  FilterAllocLog log;
+  EXPECT_EQ(log.occupancy(), 0u);
+  log.insert(ptr(0x10000), 64);  // 8 words
+  EXPECT_EQ(log.occupancy(), 8u);
+  log.clear();
+  // clear() is an epoch bump, not a table wipe — occupancy must still read
+  // zero, because every mark just became stale.
+  EXPECT_EQ(log.occupancy(), 0u);
+  log.insert(ptr(0x20000), 32);  // 4 words, re-using stale slots
+  EXPECT_EQ(log.occupancy(), 4u);
+  log.erase(ptr(0x20000), 32);
+  EXPECT_EQ(log.occupancy(), 0u);
+}
+
+TEST(FilterLog, EraseOfStaleEpochBlockIsANoOp) {
+  FilterAllocLog log;
+  log.insert(ptr(0x10000), 64);
+  log.clear();
+  log.insert(ptr(0x20000), 64);
+  // Erasing a block whose marks predate the clear must not disturb the
+  // current epoch's counts. (Historically it decremented entries()
+  // unconditionally, so occupancy-style signals under-reported.)
+  log.erase(ptr(0x10000), 64);
+  EXPECT_EQ(log.entries(), 1u);
+  EXPECT_EQ(log.occupancy(), 8u);
+  EXPECT_TRUE(log.contains(ptr(0x20000), 8));
+  log.erase(ptr(0x30000), 64);  // never inserted at all
+  EXPECT_EQ(log.entries(), 1u);
+  EXPECT_EQ(log.occupancy(), 8u);
+}
+
+TEST(FilterLog, OccupancyBoundedByTableUnderCollisions) {
+  FilterAllocLog log(4);  // 16 slots
+  for (std::uintptr_t i = 0; i < 64; ++i) {
+    log.insert(ptr(0x10000 + i * 0x100), 8);
+  }
+  // Collision overwrites evict marks; live occupancy can never exceed the
+  // table (the old blocks_ counter happily reported 64 here).
+  EXPECT_LE(log.occupancy(), log.table_size());
+  EXPECT_GT(log.occupancy(), 0u);
+}
+
+TEST(FilterLog, WordsMarkedAccumulatesAcrossEpochs) {
+  FilterAllocLog log;
+  log.insert(ptr(0x10000), 64);  // 8 words
+  EXPECT_EQ(log.words_marked(), 8u);
+  log.clear();
+  log.insert(ptr(0x10000), 64);
+  // Cumulative by design: the adaptive policy reads per-epoch deltas of
+  // marking pressure, which an epoch reset must not erase.
+  EXPECT_EQ(log.words_marked(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Array-log overflow and peak accounting (the adaptive policy's escalation
+// signal).
+// ---------------------------------------------------------------------------
+
+TEST(ArrayLog, DroppedSurvivesClearAndPeakTracksHighWater) {
+  ArrayAllocLog log;
+  for (std::size_t i = 0; i <= ArrayAllocLog::kCapacity; ++i) {
+    log.insert(ptr(0x10000 + i * 0x100), 8);
+  }
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.peak(), ArrayAllocLog::kCapacity);
+  log.clear();
+  EXPECT_EQ(log.entries(), 0u);
+  EXPECT_EQ(log.dropped(), 1u);  // cumulative: per-tx deltas need this
+  EXPECT_EQ(log.peak(), ArrayAllocLog::kCapacity);
+  log.insert(ptr(0x90000), 8);
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Private-region registry (annotation APIs, Section 3.1.3).
 // ---------------------------------------------------------------------------
 

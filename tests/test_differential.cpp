@@ -4,9 +4,10 @@
 // OUTCOMES. This suite runs one randomized container+malloc workload to a
 // fixed seed under EVERY barrier preset (full / static / stack+heap+priv
 // and heap-only across all three alloc-log structures / counting / the
-// generic per-access fallback), plus a contention-manager cross on a
-// representative barrier subset, and asserts bit-identical final state and
-// identical commit counts across all of them.
+// generic per-access fallback / the online-adaptive structure selector),
+// plus a contention-manager cross on a representative barrier subset, and
+// asserts bit-identical final state and identical commit counts across all
+// of them.
 //
 // The workload is single-threaded on purpose: with no conflicts the
 // execution is fully deterministic, so any digest divergence is a real
@@ -47,6 +48,13 @@ std::vector<std::pair<std::string, TxConfig>> all_presets() {
       {"heap_w_array", TxConfig::runtime_heap_w(AllocLogKind::kArray)},
       {"heap_w_filter", TxConfig::runtime_heap_w(AllocLogKind::kFilter)},
       {"counting", TxConfig::counting()},
+      // Online-adaptive structure selection: the policy may re-specialize
+      // the plan mid-run (array → filter → tree → back), so these presets
+      // assert that SWITCHING structures between transactions — not just
+      // picking one — never changes outcomes.
+      {"rw_adaptive", TxConfig::runtime_rw(AllocLogKind::kAdaptive)},
+      {"w_adaptive", TxConfig::runtime_w(AllocLogKind::kAdaptive)},
+      {"heap_w_adaptive", TxConfig::runtime_heap_w(AllocLogKind::kAdaptive)},
   };
   {
     // Stack-write-only: no preset names it, so the plan compiles to the
@@ -295,6 +303,10 @@ TEST(Differential, BatchedExecutionMatchesUnbatchedExactly) {
       {"full", TxConfig::baseline()},
       {"rw_tree", TxConfig::runtime_rw(AllocLogKind::kTree)},
       {"static", TxConfig::compiler()},
+      // Merged batches are the workload adaptive selection exists for (the
+      // batch-size hint pre-escalates off the array); the digest and exact
+      // commit counts must not notice any of it.
+      {"rw_adaptive", TxConfig::runtime_rw(AllocLogKind::kAdaptive)},
   };
   for (const auto& [name, cfg] : cfgs) {
     const RunOutcome ref = run_workload(cfg);

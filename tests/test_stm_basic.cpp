@@ -55,6 +55,20 @@ constexpr BarrierPlan kCounting = BarrierPlan::compile(TxConfig::counting());
 static_assert(kCounting.read == BarrierPath::kCounting &&
               kCounting.write == BarrierPath::kCounting &&
               kCounting.log == ActiveLog::kTree);
+
+// The kAdaptive tag never reaches a barrier: compiling an unresolved
+// adaptive config yields the policy's start state — the fully specialized
+// ARRAY path, not kGeneric and not some new adaptive dispatch.
+constexpr BarrierPlan kAdaptiveStart =
+    BarrierPlan::compile(TxConfig::runtime_heap_w(AllocLogKind::kAdaptive));
+static_assert(kAdaptiveStart.read == BarrierPath::kFull &&
+              kAdaptiveStart.write == BarrierPath::kHeapArray &&
+              kAdaptiveStart.log == ActiveLog::kArray);
+
+constexpr BarrierPlan kAdaptiveRw = BarrierPlan::compile(TxConfig::adaptive());
+static_assert(kAdaptiveRw.read == BarrierPath::kStackHeapPrivArray &&
+              kAdaptiveRw.write == BarrierPath::kStackHeapPrivArray &&
+              kAdaptiveRw.log == ActiveLog::kArray);
 }  // namespace plan_checks
 
 TEST_F(StmBasic, OffPresetConfigFallsBackToGenericPath) {
