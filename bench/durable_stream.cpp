@@ -1,0 +1,12 @@
+// Durable-mode cost across STAMP: non-durable reference vs durable with
+// capture elision vs durable with capture disabled, plus the
+// flushes-elided% / pwb counts that explain the gap. With --json this
+// emits the BENCH_durable.json record (compared, advisorily, by
+// scripts/bench_gate.py).
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  auto opt = cstm::harness::parse_options(argc, argv);
+  cstm::harness::durable_sweep(opt);
+  return 0;
+}

@@ -159,6 +159,53 @@ def compare_adaptive_profiles(committed, fresh, violations, lines):
         )
 
 
+def compare_durable(committed, fresh, tolerance, violations, lines):
+    """Advisory comparison of BENCH_durable.json records.
+
+    Schema (written by `bench_durable --json ...`):
+      {"experiment": "durable", "scale": S, "threads": T, "reps": N,
+       "seed": X,
+       "rows": [{"app": "...", "nondurable_seconds": ...,
+                 "durable_seconds": ..., "flushes_elided_percent": ...,
+                 "pwbs": ..., "pwbs_nocapture": ..., ...}, ...]}
+
+    Seconds columns are ratio-compared like every other timing cell.
+    flushes_elided_percent is compared within +/- tolerance points: the
+    elision ratio is a deterministic property of capture analysis on a
+    fixed-seed workload, so drift there means the elision rule (or the
+    capture machinery feeding it) changed behaviour, not the scheduler.
+    """
+    committed_rows = {r["app"]: r for r in committed["rows"]}
+    fresh_rows = {r["app"]: r for r in fresh["rows"]}
+    for app, crow in committed_rows.items():
+        frow = fresh_rows.get(app)
+        if frow is None:
+            violations.append(f"durable/{app}: missing from fresh run")
+            continue
+        for col in ("nondurable_seconds", "durable_seconds",
+                    "durable_nocapture_seconds"):
+            csec, fsec = crow[col], frow[col]
+            ratio = fsec / csec if csec > 0 else float("inf")
+            ok = 1.0 / (1.0 + tolerance / 100.0) <= ratio <= 1.0 + tolerance / 100.0
+            if not ok:
+                violations.append(
+                    f"durable/{app}/{col}: {fsec:.4f}s vs committed "
+                    f"{csec:.4f}s (x{ratio:.2f})"
+                )
+        celide, felide = (crow["flushes_elided_percent"],
+                          frow["flushes_elided_percent"])
+        if abs(felide - celide) > tolerance:
+            violations.append(
+                f"durable/{app}: flushes-elided {felide:.1f}% vs committed "
+                f"{celide:.1f}% (delta {felide - celide:+.1f} points)"
+            )
+        lines.append(
+            f"  durable  {app:15s} {crow['durable_seconds']:8.4f}s -> "
+            f"{frow['durable_seconds']:8.4f}s  elided "
+            f"{celide:5.1f}% -> {felide:5.1f}%"
+        )
+
+
 def compare_rows(name, committed, fresh, tolerance, violations, lines):
     committed_rows = {r["app"]: r for r in committed["rows"]}
     fresh_rows = {r["app"]: r for r in fresh["rows"]}
@@ -280,6 +327,21 @@ def main():
     else:
         print("bench_gate: no committed BENCH_adaptive.json; skipping "
               "adaptive comparison")
+
+    # BENCH_durable.json: timing ratios plus the deterministic
+    # flushes-elided column. Advisory and optional, like its siblings.
+    committed_durable = os.path.join(REPO, "BENCH_durable.json")
+    fresh_durable = os.path.join(out_dir, "BENCH_durable.json")
+    if os.path.exists(committed_durable):
+        if os.path.exists(fresh_durable):
+            compare_durable(load(committed_durable), load(fresh_durable),
+                            args.tolerance, violations, lines)
+        else:
+            print("bench_gate: committed BENCH_durable.json present but the "
+                  "fresh run produced none; skipping (advisory)")
+    else:
+        print("bench_gate: no committed BENCH_durable.json; skipping "
+              "durable comparison")
 
     print("bench_gate: committed -> fresh improvement percentages:")
     print("\n".join(lines))

@@ -31,8 +31,18 @@
 #   and the CI box has one core, so single-thread is the stable cell),
 #   ADAPTIVE_SCALE (default 3.0, matching the fig11 structure sweep so the
 #   columns are comparable), ADAPTIVE_REPS (default = reps).
+# Environment overrides for the durable run (BENCH_durable.json — durable
+# commit overhead and flushes-elided% vs the non-durable reference and the
+# capture-disabled durable baseline):
+#   DURABLE_THREADS (default 1: the elision ratio is a single-thread
+#   property and the durable commit leg serializes anyway), DURABLE_SCALE
+#   (default 1.0), DURABLE_REPS (default = reps).
 # OUT_DIR (default repo root) redirects the written JSONs — used by
 # scripts/bench_gate.py so a gate run never clobbers the committed records.
+#
+# Every record is written to a temp file IN the destination directory and
+# renamed into place, so an interrupted run never leaves a truncated
+# BENCH_*.json where a committed record used to be.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,19 +58,28 @@ txbatch_reps="${TXBATCH_REPS:-$reps}"
 adaptive_threads="${ADAPTIVE_THREADS:-1}"
 adaptive_scale="${ADAPTIVE_SCALE:-3.0}"
 adaptive_reps="${ADAPTIVE_REPS:-$reps}"
+durable_threads="${DURABLE_THREADS:-1}"
+durable_scale="${DURABLE_SCALE:-1.0}"
+durable_reps="${DURABLE_REPS:-$reps}"
 jobs=$(nproc 2>/dev/null || echo 4)
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$jobs" --target bench_fig10_single_thread \
   bench_fig11a_scal_configs bench_fig11b_structures bench_txbatch_stream \
-  bench_adaptive
+  bench_adaptive bench_durable
 
+# Temp file in $out_dir (same filesystem -> the rename is atomic); the trap
+# sweeps up whatever an aborted run left behind.
+scratch() { mktemp "$out_dir/.bench.XXXXXX"; }
+publish() { mv "$1" "$2" && echo "wrote $2"; }
+trap 'rm -f "$out_dir"/.bench.*' EXIT
+
+t=$(scratch)
 ./build/bench_fig10_single_thread \
-  --scale "$scale" --reps "$reps" --json "$out_dir/BENCH_fig10.json"
-echo "wrote $out_dir/BENCH_fig10.json"
+  --scale "$scale" --reps "$reps" --json "$t"
+publish "$t" "$out_dir/BENCH_fig10.json"
 
-tmpa=$(mktemp) && tmpb=$(mktemp)
-trap 'rm -f "$tmpa" "$tmpb"' EXIT
+tmpa=$(scratch) && tmpb=$(scratch) && t=$(scratch)
 ./build/bench_fig11a_scal_configs --scale "$fig11_scale" \
   --reps "$fig11_reps" --threads "$fig11_threads" --json "$tmpa"
 ./build/bench_fig11b_structures --scale "$fig11_scale" \
@@ -73,15 +92,21 @@ trap 'rm -f "$tmpa" "$tmpb"' EXIT
   echo '"fig11b":'
   cat "$tmpb"
   echo '}'
-} > "$out_dir/BENCH_fig11.json"
-echo "wrote $out_dir/BENCH_fig11.json"
+} > "$t"
+rm -f "$tmpa" "$tmpb"
+publish "$t" "$out_dir/BENCH_fig11.json"
 
+t=$(scratch)
 ./build/bench_txbatch_stream --scale "$txbatch_scale" \
-  --reps "$txbatch_reps" --threads "$txbatch_threads" \
-  --json "$out_dir/BENCH_txbatch.json"
-echo "wrote $out_dir/BENCH_txbatch.json"
+  --reps "$txbatch_reps" --threads "$txbatch_threads" --json "$t"
+publish "$t" "$out_dir/BENCH_txbatch.json"
 
+t=$(scratch)
 ./build/bench_adaptive --scale "$adaptive_scale" \
-  --reps "$adaptive_reps" --threads "$adaptive_threads" \
-  --json "$out_dir/BENCH_adaptive.json"
-echo "wrote $out_dir/BENCH_adaptive.json"
+  --reps "$adaptive_reps" --threads "$adaptive_threads" --json "$t"
+publish "$t" "$out_dir/BENCH_adaptive.json"
+
+t=$(scratch)
+./build/bench_durable --scale "$durable_scale" \
+  --reps "$durable_reps" --threads "$durable_threads" --json "$t"
+publish "$t" "$out_dir/BENCH_durable.json"

@@ -10,11 +10,13 @@
 #    the matching CMake preset with the -Werror gate enabled, build, and
 #    run ctest with --output-on-failure and the per-test TIMEOUTs/LABELS
 #    registered in CMakeLists.txt. The high-thread `stress` tier, the
-#    txbatch `batch` tier, and the `adaptive` tier run in all three cells
-#    (the tsan preset excludes only bench-smoke), so the contention
-#    managers, the batched clock, the merge layer's compensation path, and
-#    the online log-selection policy are raced under both sanitizers on
-#    every push.
+#    txbatch `batch` tier, the `adaptive` tier, and the `durable` tier run
+#    in all three cells, so the contention managers, the batched clock,
+#    the merge layer's compensation path, the online log-selection policy,
+#    and the durable commit leg are raced under both sanitizers on every
+#    push. The tsan preset excludes only bench-smoke and the fork-based
+#    `crash` recovery harness (TSan and fork() don't mix); the crash tests
+#    still run under release AND ASan.
 #  * `release` additionally writes the static-analysis elision table and
 #    the (advisory) bench-gate report into ci-artifacts/ for the workflow
 #    to upload.
@@ -59,7 +61,7 @@ run_preset() {
   cmake --preset "$preset" -DCSTM_WERROR=ON
   echo "== ci.sh: build preset '$preset' =="
   cmake --build --preset "$preset" -j "$jobs"
-  echo "== ci.sh: ctest preset '$preset' (labels: unit, torture, stress, batch, adaptive, bench-smoke) =="
+  echo "== ci.sh: ctest preset '$preset' (labels: unit, torture, stress, batch, adaptive, durable, crash, bench-smoke) =="
   ctest --preset "$preset" --output-on-failure
 }
 

@@ -1,11 +1,14 @@
 #include "harness/experiment.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
 #include <cstring>
 #include <string>
 
+#include "durable/durable_heap.hpp"
 #include "stm/stm.hpp"
 #include "support/stats.hpp"
 #include "txir/kernels.hpp"
@@ -598,6 +601,103 @@ void adaptive_sweep(const Options& opt) {
     std::fclose(json);
     std::printf("# wrote %s\n", opt.json.c_str());
   }
+}
+
+void durable_sweep(const Options& opt) {
+  // Durability cost and what capture elision buys back. Three cells per
+  // app: the non-durable reference (runtime stack+heap RW, filter log —
+  // the txbatch_stream config), the same config made durable, and durable
+  // with capture disabled (every instrumented store redo-logged and
+  // flushed). A scratch heap file backs the log so commits pay real
+  // serialization + write-back; STAMP's data stays volatile, so entries
+  // are flush-accounted but never replayed.
+  const TxConfig ref = TxConfig::runtime_rw(AllocLogKind::kFilter);
+  const TxConfig dur_cap = ref.with_durable();
+  const TxConfig dur_nocap = TxConfig::durable_baseline();
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string heap_path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                                "/cstm_bench_durable_" +
+                                std::to_string(::getpid()) + ".heap";
+  std::remove(heap_path.c_str());
+  dur::DurableHeap heap;
+  if (!heap.open(heap_path)) {
+    std::fprintf(stderr, "cannot open scratch durable heap %s\n",
+                 heap_path.c_str());
+    std::exit(1);
+  }
+  heap.activate();
+
+  std::printf("# Durable mode: overhead vs non-durable and flush elision "
+              "(%d thread%s, runtime stack+heap RW, filter log)\n",
+              opt.threads, opt.threads == 1 ? "" : "s");
+  std::printf("# flush-elided%% = captured stores that skipped redo "
+              "logging+flushing; nocap = durable with capture disabled\n");
+  std::printf("%-15s %10s %10s %8s %10s %8s %9s %10s %10s %10s\n", "app",
+              "ref-s", "dur-s", "ovh%", "nocap-s", "ovh%", "elided%", "pwbs",
+              "nocap-pwb", "logged");
+
+  std::FILE* json = nullptr;
+  if (!opt.json.empty()) {
+    json = std::fopen(opt.json.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", opt.json.c_str());
+      std::exit(1);
+    }
+    std::fprintf(json,
+                 "{\n  \"experiment\": \"durable\",\n  \"scale\": %g,\n"
+                 "  \"threads\": %d,\n  \"reps\": %d,\n  \"seed\": %llu,\n"
+                 "  \"rows\": [",
+                 opt.scale, opt.threads, opt.reps,
+                 static_cast<unsigned long long>(opt.seed));
+  }
+  bool first_row = true;
+  for (const auto& app : stamp::app_names()) {
+    const double base = median_seconds(app, opt.threads, ref, opt);
+    TxStats cap_stats;
+    const double t_cap = median_seconds(app, opt.threads, dur_cap, opt,
+                                        &cap_stats);
+    TxStats nocap_stats;
+    const double t_nocap = median_seconds(app, opt.threads, dur_nocap, opt,
+                                          &nocap_stats);
+    const double ovh_cap = (t_cap / base - 1.0) * 100.0;
+    const double ovh_nocap = (t_nocap / base - 1.0) * 100.0;
+    std::printf(
+        "%-15s %10.4f %10.4f %7.1f%% %10.4f %7.1f%% %8.1f%% %10llu %10llu "
+        "%10llu\n",
+        app.c_str(), base, t_cap, ovh_cap, t_nocap, ovh_nocap,
+        cap_stats.flushes_elided_percent(),
+        static_cast<unsigned long long>(cap_stats.durable_pwbs),
+        static_cast<unsigned long long>(nocap_stats.durable_pwbs),
+        static_cast<unsigned long long>(cap_stats.durable_stores_logged));
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "%s\n    {\"app\": \"%s\", \"nondurable_seconds\": %.6f, "
+          "\"durable_seconds\": %.6f, \"durable_overhead_percent\": %.2f, "
+          "\"durable_nocapture_seconds\": %.6f, "
+          "\"durable_nocapture_overhead_percent\": %.2f, "
+          "\"flushes_elided_percent\": %.2f, \"pwbs\": %llu, "
+          "\"pwbs_nocapture\": %llu, \"stores_logged\": %llu, "
+          "\"stores_logged_nocapture\": %llu, \"durable_commits\": %llu}",
+          first_row ? "" : ",", app.c_str(), base, t_cap, ovh_cap, t_nocap,
+          ovh_nocap, cap_stats.flushes_elided_percent(),
+          static_cast<unsigned long long>(cap_stats.durable_pwbs),
+          static_cast<unsigned long long>(nocap_stats.durable_pwbs),
+          static_cast<unsigned long long>(cap_stats.durable_stores_logged),
+          static_cast<unsigned long long>(nocap_stats.durable_stores_logged),
+          static_cast<unsigned long long>(cap_stats.durable_commits));
+      first_row = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("# wrote %s\n", opt.json.c_str());
+  }
+  heap.deactivate();
+  heap.close();
+  std::remove(heap_path.c_str());
 }
 
 }  // namespace cstm::harness

@@ -85,4 +85,13 @@ void txbatch_stream(const Options& opt);
 /// scripts/bench_gate.py). --capture-log restricts the sweep to one column.
 void adaptive_sweep(const Options& opt);
 
+/// Durable mode across STAMP: seconds for the non-durable reference
+/// (runtime stack+heap RW, filter log) vs the same config with durability
+/// on vs capture-disabled durable (the flush-everything baseline), plus
+/// the flushes-elided% and pwb/redo-entry counts that explain the gap. A
+/// scratch DurableHeap backs the redo log so the flush traffic is real.
+/// With --json this writes the BENCH_durable.json record (consumed
+/// advisorily by scripts/bench_gate.py).
+void durable_sweep(const Options& opt);
+
 }  // namespace cstm::harness

@@ -51,6 +51,11 @@ struct BarrierPlan {
   // on this field, never on TxConfig — the access fast paths stay free of
   // per-access policy branches.
   ContentionPolicy cm = ContentionPolicy::kBackoff;
+  // Durable mode, resolved once at begin like everything else. Consulted
+  // only inside the outlined full-write slow path (to append the redo
+  // entry) and at commit_top — the inlined fast paths, including every
+  // capture-elided store, never test it.
+  bool durable = false;
 
   /// Resolves a TxConfig into its plan. Constexpr so preset→path mappings
   /// can be checked at compile time (see tests/test_stm_basic.cpp).
@@ -74,6 +79,7 @@ struct BarrierPlan {
   static constexpr BarrierPlan compile_concrete(const TxConfig& cfg) {
     BarrierPlan p;
     p.cm = cfg.contention;
+    p.durable = cfg.durable;
     p.log = cfg.count_mode ? ActiveLog::kTree  // precise classification
             : (cfg.heap_read || cfg.heap_write) ? to_active(cfg.alloc_log)
                                                 : ActiveLog::kNone;

@@ -78,6 +78,7 @@ template <TmValue T>
         ++tx.stats.write_own_fast;
         tx.undo.record(addr, sizeof(T));
         store_relaxed(addr, value);
+        if (tx.plan.durable) tx.durable_record(addr, sizeof(T));
         return;
       }
       tx.on_conflict(&rec);
@@ -93,6 +94,7 @@ template <TmValue T>
       tx.ws.push(OwnedOrec{&rec, v});
       tx.undo.record(addr, sizeof(T));
       store_relaxed(addr, value);
+      if (tx.plan.durable) tx.durable_record(addr, sizeof(T));
       return;
     }
   }

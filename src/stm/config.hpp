@@ -41,6 +41,13 @@ struct TxConfig {
   // partial abort can restore them (Section 2.2.1).
   bool nested_undo_for_captured = true;
 
+  // Durable mode (ROADMAP direction 2): non-captured stores are redo-logged
+  // and commit runs the flush/fence protocol in src/durable/. Compiled into
+  // BarrierPlan::durable — zero per-access branches when off, one branch in
+  // the outlined full-write slow path when on. Orthogonal to the capture
+  // presets, like the contention axis.
+  bool durable = false;
+
   AllocLogKind alloc_log = AllocLogKind::kTree;
   ContentionPolicy contention = ContentionPolicy::kBackoff;
 
@@ -55,6 +62,15 @@ struct TxConfig {
   constexpr TxConfig with_contention(ContentionPolicy p) const {
     TxConfig c = *this;
     c.contention = p;
+    return c;
+  }
+
+  /// Same barrier configuration, with durability on. Crossed over the
+  /// capture presets exactly like with_contention — the differential suite
+  /// checks that durability never changes committed state.
+  constexpr TxConfig with_durable() const {
+    TxConfig c = *this;
+    c.durable = true;
     return c;
   }
   // -- Presets matching the paper's measured configurations -----------------
@@ -102,6 +118,20 @@ struct TxConfig {
     TxConfig c;
     c.static_elision = true;
     return c;
+  }
+
+  /// Durable mode with full runtime capture checks: the configuration
+  /// where capture elides both STM barriers AND redo-log flushes (the
+  /// durable quickstart preset; see docs/ARCHITECTURE.md).
+  static constexpr TxConfig durable_rw(AllocLogKind k = AllocLogKind::kTree) {
+    return runtime_rw(k).with_durable();
+  }
+
+  /// Durable mode with no capture checks: every instrumented store is
+  /// redo-logged and flushed. The comparison baseline for
+  /// flushes_elided_percent().
+  static constexpr TxConfig durable_baseline() {
+    return baseline().with_durable();
   }
 
   /// Fig. 8 barrier-breakdown measurement.

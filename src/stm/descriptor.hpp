@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -86,6 +87,11 @@ class Tx {
   UndoLog undo;
   TxAllocCtx alloc;
   std::vector<std::size_t> freed_events;  // indices into alloc.allocs
+  /// Durable-mode redo write log (non-captured stores with post-images
+  /// captured at record time) and the blocks handed out by
+  /// DurableHeap::alloc. Both empty unless plan.durable.
+  TxLog<DurableWrite> dlog;
+  std::vector<DurableAlloc> durable_allocs;
   TxStats stats;
 
   /// Snapshot timestamp while a transaction is active; kIdleEpoch when not.
@@ -104,7 +110,7 @@ class Tx {
   std::vector<QuarantinedBlock> quarantine;
 
   struct LevelMark {
-    std::size_t rs, ws, undo, allocs, frees, freed_events;
+    std::size_t rs, ws, undo, allocs, frees, freed_events, dlog, dallocs;
     const void* level_sp;
   };
   std::vector<LevelMark> levels;
@@ -164,6 +170,30 @@ class Tx {
   }
 
   bool in_tx() const { return depth > 0; }
+
+  /// Appends a redo entry for a non-captured store. Called only from the
+  /// outlined full-write slow path, only when plan.durable — a capture hit
+  /// returns before reaching it, which is exactly the flush elision. The
+  /// post-image is read HERE, right after the in-place store, because the
+  /// address may be a transaction-local stack slot whose frame is dead by
+  /// commit time (the baseline capture-off plan logs those too).
+  void durable_record(void* addr, std::uint32_t len) {
+    std::uint64_t value = 0;
+    std::memcpy(&value, addr, len);
+    dlog.push(DurableWrite{addr, value, len});
+    ++stats.durable_stores_logged;
+  }
+
+  /// Registers a DurableHeap::alloc block: tracked for wholesale commit
+  /// write-back, and inserted into the plan's capture log so its stores
+  /// elide barriers and redo entries alike. Not an AllocRecord — the block
+  /// is not pool memory; aborts unwind the cursor (undo log) and these
+  /// entries instead of deallocating.
+  void durable_note_alloc(void* p, std::size_t n) {
+    durable_allocs.push_back(DurableAlloc{p, n});
+    alloc_log_insert(p, n);
+    ++stats.durable_allocs;
+  }
 
   // -- Lifecycle (definitions in stm.cpp) ------------------------------------
   void begin_top(const void* sp);

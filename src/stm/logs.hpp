@@ -29,6 +29,26 @@ struct UndoEntry {
   std::uint32_t len;
 };
 
+/// Durable write log entry: a non-captured store made under a durable
+/// plan. The post-image is captured at record time, while the stored-to
+/// address is certainly alive — a baseline (capture-off) plan logs stores
+/// to transaction-local stack slots too, and those frames are gone by
+/// commit. Overwrites append fresh entries; replay in log order yields the
+/// final state. Captured stores never enter this log; that is the flush
+/// elision (src/durable/durable_heap.hpp).
+struct DurableWrite {
+  void* addr;
+  std::uint64_t value;
+  std::uint32_t len;
+};
+
+/// A block handed out by DurableHeap::alloc — captured, so written back
+/// wholesale at durable commit instead of through redo entries.
+struct DurableAlloc {
+  void* ptr;
+  std::size_t size;
+};
+
 template <typename T>
 class TxLog {
  public:

@@ -88,6 +88,19 @@ struct TxStats {
   std::uint64_t batch_ops = 0;
   std::uint64_t batch_op_compensations = 0;
 
+  // Durable mode (src/durable/). Logged stores are the non-captured writes
+  // that earned a redo entry; pwbs/pfences count the commit protocol's
+  // persistence traffic (simulated or real, same call sites); captured
+  // writebacks are blocks from DurableHeap::alloc persisted wholesale
+  // instead of entry-by-entry.
+  std::uint64_t durable_commits = 0;
+  std::uint64_t durable_stores_logged = 0;
+  std::uint64_t durable_pwbs = 0;
+  std::uint64_t durable_pfences = 0;
+  std::uint64_t durable_log_bytes = 0;
+  std::uint64_t durable_captured_writebacks = 0;
+  std::uint64_t durable_allocs = 0;
+
   std::uint64_t read_elided() const {
     return read_elided_stack + read_elided_heap + read_elided_private +
            read_elided_static;
@@ -125,6 +138,19 @@ struct TxStats {
     return tx_allocs == 0 ? 0.0
                           : 100.0 * static_cast<double>(array_overflows) /
                                 static_cast<double>(tx_allocs);
+  }
+
+  /// Of the stores a durable plan would have to make persistent, the
+  /// percentage that skipped redo logging and flushing because capture
+  /// classified them transaction-local. The denominator is elided stores
+  /// plus redo-logged stores — i.e. every instrumented store that reached
+  /// its barrier's decision point under a durable plan. 100% means a fully
+  /// captured workload paid zero per-store flush traffic.
+  double flushes_elided_percent() const {
+    const std::uint64_t denom = write_elided() + durable_stores_logged;
+    return denom == 0 ? 0.0
+                      : 100.0 * static_cast<double>(write_elided()) /
+                            static_cast<double>(denom);
   }
 
   /// Percentage of instrumented accesses elided by ANY mechanism (capture,
@@ -178,6 +204,13 @@ struct TxStats {
     batch_flushes += o.batch_flushes;
     batch_ops += o.batch_ops;
     batch_op_compensations += o.batch_op_compensations;
+    durable_commits += o.durable_commits;
+    durable_stores_logged += o.durable_stores_logged;
+    durable_pwbs += o.durable_pwbs;
+    durable_pfences += o.durable_pfences;
+    durable_log_bytes += o.durable_log_bytes;
+    durable_captured_writebacks += o.durable_captured_writebacks;
+    durable_allocs += o.durable_allocs;
   }
 
   void reset() { *this = TxStats{}; }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "capture/private_registry.hpp"
+#include "durable/durable_heap.hpp"
 #include "stm/config.hpp"
 #include "stm/descriptor.hpp"
 #include "stm/gclock.hpp"
@@ -242,6 +243,8 @@ void Tx::reset_logs() {
   levels.clear();
   freed_events.clear();
   alloc.clear();
+  dlog.clear();
+  durable_allocs.clear();
   // Only the plan's log is maintained, so only it needs a reset; tree_log()
   // and filter_log() construct the structure on the first transaction that
   // actually selects it.
@@ -331,7 +334,8 @@ void Tx::begin_top(const void* sp) {
 void Tx::begin_nested(const void* sp) {
   levels.push_back(LevelMark{rs.size(), ws.size(), undo.size(),
                              alloc.allocs.size(), alloc.deferred_frees.size(),
-                             freed_events.size(), sp});
+                             freed_events.size(), dlog.size(),
+                             durable_allocs.size(), sp});
   ++depth;
 }
 
@@ -349,6 +353,13 @@ void Tx::commit_top() {
     // Otherwise revalidate before releasing. (Publication precedes the
     // releases below: invariant (2) in gclock.hpp.)
     if (s.prev_published != start_ts && !validate()) abort_self();
+    // Durable leg BEFORE the orec releases below: no other transaction may
+    // observe post-state that is not yet durably decided. (Durable work
+    // with an empty write set cannot exist — every redo entry and every
+    // durable alloc's cursor bump owns an orec.)
+    if (plan.durable && (!dlog.empty() || !durable_allocs.empty())) {
+      dur::commit_tx(*this);
+    }
     const std::uint64_t word = orec::make_version(s.ts);
     for (const OwnedOrec& w : ws) {
       w.rec->store(word, std::memory_order_release);
@@ -482,6 +493,14 @@ void Tx::abort_nested() {
   }
   alloc.allocs.resize(m.allocs);
   alloc.deferred_frees.resize(m.frees);
+  // Durable mode: drop the aborted level's redo entries and unwind its
+  // durable-region allocations (the bump cursor itself was restored by the
+  // undo rollback above — it is ordinary transactional data).
+  dlog.truncate(m.dlog);
+  for (std::size_t i = durable_allocs.size(); i-- > m.dallocs;) {
+    alloc_log_erase(durable_allocs[i].ptr, durable_allocs[i].size);
+  }
+  durable_allocs.resize(m.dallocs);
   --depth;
   ++stats.nested_partial_aborts;
 }

@@ -5,7 +5,8 @@
 // fixed seed under EVERY barrier preset (full / static / stack+heap+priv
 // and heap-only across all three alloc-log structures / counting / the
 // generic per-access fallback / the online-adaptive structure selector),
-// plus a contention-manager cross on a representative barrier subset, and
+// plus a contention-manager cross on a representative barrier subset and a
+// durable-mode cross (redo logging + flush accounting riding commit), and
 // asserts bit-identical final state and identical commit counts across all
 // of them.
 //
@@ -16,12 +17,17 @@
 // concurrent analogue lives in tests/test_concurrent.cpp.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "containers/containers.hpp"
+#include "durable/durable_heap.hpp"
 #include "stm/stm.hpp"
 #include "support/random.hpp"
 
@@ -56,6 +62,16 @@ std::vector<std::pair<std::string, TxConfig>> all_presets() {
       {"w_adaptive", TxConfig::runtime_w(AllocLogKind::kAdaptive)},
       {"heap_w_adaptive", TxConfig::runtime_heap_w(AllocLogKind::kAdaptive)},
   };
+  // Durable mode: the redo-log serialization + flush leg rides commit and
+  // may change PERSISTENCE only, never outcomes. No heap is active in this
+  // suite, so these run against the fallback volatile log — the identical
+  // serialization/accounting code path, minus the medium. Crossed with the
+  // three barrier families whose elision decisions feed the redo log
+  // differently: none (every store logged), static, runtime stack+heap.
+  presets.emplace_back("durable_full", TxConfig::durable_baseline());
+  presets.emplace_back("durable_static", TxConfig::compiler().with_durable());
+  presets.emplace_back("durable_rw_filter",
+                       TxConfig::durable_rw(AllocLogKind::kFilter));
   {
     // Stack-write-only: no preset names it, so the plan compiles to the
     // kGeneric per-access fallback.
@@ -331,6 +347,74 @@ TEST(Differential, BatchedExecutionMatchesUnbatchedExactly) {
 // The comparison must be able to fail: the workload must be deterministic
 // (two identical runs agree) AND the digest must be sensitive (a slightly
 // different workload diverges), otherwise the equality above is vacuous.
+// Durable region round-trip: a deterministic linked-structure workload in
+// a DurableHeap must digest identically from the live working copy and
+// from a fresh reopen — i.e. what the medium replays is byte-for-byte what
+// the in-memory run computed, captured allocations included (their bytes
+// travel by wholesale write-back, not redo entries).
+TEST(Differential, DurableRegionStateSurvivesReopenBitIdentically) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                           "/cstm_diff_durable_" + std::to_string(::getpid()) +
+                           ".heap";
+  std::remove(path.c_str());
+
+  // Walks the block list anchored at root slot 0 ([0]=value, [1]=next
+  // offset) plus the plain-value slots. Reads are direct: after close/open
+  // the working copy IS the recovered medium image.
+  auto region_digest = [](dur::DurableHeap& heap) {
+    Digest d;
+    for (std::uint64_t off = *heap.root_slot(0); off != 0;) {
+      const auto* block = static_cast<const std::uint64_t*>(heap.at(off));
+      d.fold(block[0]);
+      off = block[1];
+    }
+    d.fold(*heap.root_slot(2));
+    d.fold(*heap.root_slot(3));
+    return d.hash;
+  };
+
+  std::uint64_t live = 0;
+  {
+    dur::DurableHeap heap;
+    ASSERT_TRUE(heap.open(path));
+    heap.activate();
+    set_global_config(TxConfig::durable_rw(AllocLogKind::kFilter));
+    stats_reset();
+    Xoshiro256 rng(kSeed);
+    for (int i = 0; i < 64; ++i) {
+      const std::uint64_t v = rng.next();
+      atomic([&](Tx& tx) {
+        auto* block = static_cast<std::uint64_t*>(heap.alloc(tx, 64));
+        tm_write(tx, &block[0], v, kAutoSite);                      // captured
+        tm_write(tx, &block[1], tm_read(tx, heap.root_slot(0)),
+                 kAutoSite);
+        tm_write(tx, heap.root_slot(0), heap.offset_of(block));     // logged
+        tm_write(tx, heap.root_slot(2),
+                 tm_read(tx, heap.root_slot(2)) + (v & 0xff));
+        if (i % 7 == 0) {
+          atomic([&](Tx& itx) {  // nested partial abort mid-structure
+            tm_write(itx, heap.root_slot(3), std::uint64_t{0xDEAD});
+            abort_tx();
+          });
+        }
+      });
+    }
+    const TxStats s = stats_snapshot();
+    EXPECT_GT(s.flushes_elided_percent(), 0.0);  // elision was live
+    live = region_digest(heap);
+    heap.deactivate();
+    heap.close();
+    set_global_config(TxConfig::baseline());
+  }
+
+  dur::DurableHeap reopened;
+  ASSERT_TRUE(reopened.open(path));
+  EXPECT_EQ(region_digest(reopened), live);
+  reopened.close();
+  std::remove(path.c_str());
+}
+
 TEST(Differential, WorkloadDeterministicAndDigestSensitive) {
   const RunOutcome a = run_workload(TxConfig::baseline());
   const RunOutcome b = run_workload(TxConfig::baseline());
