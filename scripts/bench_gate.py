@@ -15,9 +15,18 @@ scheduler hiccup must not turn the whole gate red. Pass --strict to make
 violations fatal (use on quiet hardware, or when chasing a suspected
 regression).
 
+A malformed committed BENCH_*.json (unparseable JSON, or a record missing
+its required schema keys) is fatal EVEN in advisory mode: advisory exists
+to absorb scheduler noise on shared runners, and a corrupt committed
+record is repo corruption, not noise.
+
 Usage: scripts/bench_gate.py [--strict] [--tolerance PCT] [--skip-run]
+                             [--report-out PATH]
   --tolerance PCT   comparison half-width, default 25 (percent / points)
   --skip-run        compare an existing OUT_DIR (env) instead of running
+  --report-out PATH mirror all output into PATH (written incrementally, so
+                    the report survives a crash mid-comparison — CI points
+                    this at ci-artifacts/ and uploads it unconditionally)
 """
 
 import argparse
@@ -30,9 +39,49 @@ import tempfile
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+class MalformedRecord(Exception):
+    """A committed BENCH_*.json that cannot be trusted as a baseline."""
+
+
+class _Tee:
+    """Mirrors writes to every stream; flushes eagerly so --report-out
+    holds everything printed so far even if a later comparison crashes."""
+
+    def __init__(self, *streams):
+        self._streams = streams
+
+    def write(self, s):
+        for st in self._streams:
+            st.write(s)
+            st.flush()
+
+    def flush(self):
+        for st in self._streams:
+            st.flush()
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def load_committed(path, required_keys):
+    """Loads a committed record, raising MalformedRecord (fatal in every
+    mode) on parse errors or missing schema keys."""
+    try:
+        rec = load(path)
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as e:
+        raise MalformedRecord(f"{os.path.basename(path)}: {e}")
+    if not isinstance(rec, dict):
+        raise MalformedRecord(
+            f"{os.path.basename(path)}: top level is {type(rec).__name__}, "
+            "expected an object")
+    missing = [k for k in required_keys if k not in rec]
+    if missing:
+        raise MalformedRecord(
+            f"{os.path.basename(path)}: missing required key(s) "
+            f"{', '.join(missing)}")
+    return rec
 
 
 def compare_scaling(committed, fresh, tolerance, violations, lines):
@@ -239,16 +288,7 @@ def compare_rows(name, committed, fresh, tolerance, violations, lines):
             )
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--strict", action="store_true",
-                    help="exit non-zero on violations")
-    ap.add_argument("--tolerance", type=float, default=25.0,
-                    help="half-width in percent/points (default 25)")
-    ap.add_argument("--skip-run", action="store_true",
-                    help="compare an existing OUT_DIR instead of running")
-    args = ap.parse_args()
-
+def run(args):
     committed10 = os.path.join(REPO, "BENCH_fig10.json")
     committed11 = os.path.join(REPO, "BENCH_fig11.json")
     for p in (committed10, committed11):
@@ -271,7 +311,12 @@ def main():
 
     fresh10 = load(os.path.join(out_dir, "BENCH_fig10.json"))
     fresh11 = load(os.path.join(out_dir, "BENCH_fig11.json"))
-    c10, c11 = load(committed10), load(committed11)
+    c10 = load_committed(committed10, ("rows",))
+    c11 = load_committed(committed11, ("fig11a", "fig11b"))
+    for part in ("fig11a", "fig11b"):
+        if not isinstance(c11[part], dict) or "rows" not in c11[part]:
+            raise MalformedRecord(
+                f"BENCH_fig11.json: '{part}' lacks a 'rows' table")
 
     violations, lines = [], []
     compare_rows("fig10", c10, fresh10, args.tolerance, violations, lines)
@@ -286,8 +331,9 @@ def main():
     fresh_scaling = os.path.join(out_dir, "BENCH_scaling.json")
     if os.path.exists(committed_scaling):
         if os.path.exists(fresh_scaling):
-            compare_scaling(load(committed_scaling), load(fresh_scaling),
-                            args.tolerance, violations, lines)
+            compare_scaling(
+                load_committed(committed_scaling, ("threads", "rows")),
+                load(fresh_scaling), args.tolerance, violations, lines)
         else:
             print("bench_gate: committed BENCH_scaling.json present but the "
                   "fresh run produced none; skipping (advisory)")
@@ -302,8 +348,9 @@ def main():
     fresh_txbatch = os.path.join(out_dir, "BENCH_txbatch.json")
     if os.path.exists(committed_txbatch):
         if os.path.exists(fresh_txbatch):
-            compare_txbatch(load(committed_txbatch), load(fresh_txbatch),
-                            args.tolerance, violations, lines)
+            compare_txbatch(
+                load_committed(committed_txbatch, ("batch_sizes", "rows")),
+                load(fresh_txbatch), args.tolerance, violations, lines)
         else:
             print("bench_gate: committed BENCH_txbatch.json present but the "
                   "fresh run produced none; skipping (advisory)")
@@ -318,7 +365,8 @@ def main():
     fresh_adaptive = os.path.join(out_dir, "BENCH_adaptive.json")
     if os.path.exists(committed_adaptive):
         if os.path.exists(fresh_adaptive):
-            ca, fa = load(committed_adaptive), load(fresh_adaptive)
+            ca = load_committed(committed_adaptive, ("rows",))
+            fa = load(fresh_adaptive)
             compare_rows("adaptive", ca, fa, args.tolerance, violations, lines)
             compare_adaptive_profiles(ca, fa, violations, lines)
         else:
@@ -334,8 +382,9 @@ def main():
     fresh_durable = os.path.join(out_dir, "BENCH_durable.json")
     if os.path.exists(committed_durable):
         if os.path.exists(fresh_durable):
-            compare_durable(load(committed_durable), load(fresh_durable),
-                            args.tolerance, violations, lines)
+            compare_durable(load_committed(committed_durable, ("rows",)),
+                            load(fresh_durable), args.tolerance, violations,
+                            lines)
         else:
             print("bench_gate: committed BENCH_durable.json present but the "
                   "fresh run produced none; skipping (advisory)")
@@ -363,6 +412,40 @@ def main():
 
     print(f"bench_gate: all cells within +/-{args.tolerance:g}; green")
     return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit non-zero on violations")
+    ap.add_argument("--tolerance", type=float, default=25.0,
+                    help="half-width in percent/points (default 25)")
+    ap.add_argument("--skip-run", action="store_true",
+                    help="compare an existing OUT_DIR instead of running")
+    ap.add_argument("--report-out", metavar="PATH",
+                    help="mirror all output into PATH (crash-safe)")
+    args = ap.parse_args()
+
+    report = None
+    orig_stdout = sys.stdout
+    if args.report_out:
+        report_dir = os.path.dirname(args.report_out)
+        if report_dir:
+            os.makedirs(report_dir, exist_ok=True)
+        report = open(args.report_out, "w")
+        sys.stdout = _Tee(orig_stdout, report)
+    try:
+        return run(args)
+    except MalformedRecord as e:
+        # Fatal regardless of --strict: see the module docstring.
+        print(f"bench_gate: FATAL: malformed committed record: {e}")
+        print("bench_gate: advisory mode does not cover repo corruption; "
+              "fix or re-record the committed BENCH_*.json")
+        return 1
+    finally:
+        sys.stdout = orig_stdout
+        if report is not None:
+            report.close()
 
 
 if __name__ == "__main__":

@@ -7,13 +7,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm {
-
-namespace bitmap_sites {
-inline constexpr Site kWord{"bitmap.word", true};
-}  // namespace bitmap_sites
 
 class TxBitmap {
  public:

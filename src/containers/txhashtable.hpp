@@ -8,17 +8,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm {
-
-namespace hash_sites {
-inline constexpr Site kKey{"hashtable.key", true};
-inline constexpr Site kValue{"hashtable.value", true};
-inline constexpr Site kNext{"hashtable.next", true};
-inline constexpr Site kBucket{"hashtable.bucket", true};
-inline constexpr Site kSize{"hashtable.size", true};
-}  // namespace hash_sites
 
 template <typename K, typename V, typename Hash = std::hash<K>>
   requires TmValue<K> && TmValue<V>

@@ -6,14 +6,10 @@
 #include <cstddef>
 #include <functional>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm {
-
-namespace heap_sites {
-inline constexpr Site kData{"heap.data", true};
-inline constexpr Site kMeta{"heap.meta", true};
-}  // namespace heap_sites
 
 template <typename T, typename Less = std::less<T>>
   requires TmValue<T>

@@ -17,16 +17,10 @@
 #include <cstddef>
 #include <functional>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm {
-
-namespace list_sites {
-inline constexpr Site kValue{"list.value", true};
-inline constexpr Site kNext{"list.next", true};
-inline constexpr Site kSize{"list.size", true};
-inline constexpr Site kIter{"list.iter", false, Verdict::kStack};
-}  // namespace list_sites
 
 template <typename T, typename Compare = std::less<T>>
   requires TmValue<T>

@@ -14,19 +14,11 @@
 #include <cstdint>
 #include <functional>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 #include "support/random.hpp"
 
 namespace cstm {
-
-namespace map_sites {
-inline constexpr Site kKey{"map.key", true};
-inline constexpr Site kValue{"map.value", true};
-inline constexpr Site kPrio{"map.prio", true};
-inline constexpr Site kChild{"map.child", true};
-inline constexpr Site kRoot{"map.root", true};
-inline constexpr Site kSize{"map.size", true};
-}  // namespace map_sites
 
 template <typename K, typename V, typename Compare = std::less<K>>
   requires TmValue<K> && TmValue<V>

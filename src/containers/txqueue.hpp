@@ -6,16 +6,10 @@
 
 #include <cstddef>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm {
-
-namespace queue_sites {
-inline constexpr Site kValue{"queue.value", true};
-inline constexpr Site kNext{"queue.next", true};
-inline constexpr Site kLink{"queue.link", true};
-inline constexpr Site kSize{"queue.size", true};
-}  // namespace queue_sites
 
 template <typename T>
   requires TmValue<T>

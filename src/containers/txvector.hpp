@@ -8,14 +8,10 @@
 
 #include <cstddef>
 
+#include "generated/site_verdicts.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm {
-
-namespace vector_sites {
-inline constexpr Site kData{"vector.data", true};
-inline constexpr Site kMeta{"vector.meta", true};
-}  // namespace vector_sites
 
 template <typename T>
   requires TmValue<T>

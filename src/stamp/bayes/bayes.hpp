@@ -15,17 +15,10 @@
 #include <vector>
 
 #include "containers/txlist.hpp"
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 
 namespace cstm::stamp {
-
-namespace bayes_sites {
-inline constexpr Site kCounter{"bayes.counter", true};
-// Thread-local query vector (Figure 1(b)), registered with
-// add_private_memory_block: the analysis trusts the annotation (kPrivate),
-// so the compiler config elides these with zero runtime probes.
-inline constexpr Site kQueryVec{"bayes.query.vec", false, Verdict::kPrivate};
-}  // namespace bayes_sites
 
 class BayesApp : public App {
  public:

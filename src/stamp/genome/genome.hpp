@@ -14,13 +14,10 @@
 
 #include "containers/txbitmap.hpp"
 #include "containers/txhashtable.hpp"
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 
 namespace cstm::stamp {
-
-namespace genome_sites {
-inline constexpr Site kMatch{"genome.match", true};
-}  // namespace genome_sites
 
 class GenomeApp : public App {
  public:

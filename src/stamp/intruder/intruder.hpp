@@ -12,14 +12,10 @@
 
 #include "containers/txmap.hpp"
 #include "containers/txqueue.hpp"
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 
 namespace cstm::stamp {
-
-namespace intruder_sites {
-inline constexpr Site kFlowField{"intruder.flow.field", true};
-inline constexpr Site kCounter{"intruder.counter", true};
-}  // namespace intruder_sites
 
 class IntruderApp : public App {
  public:

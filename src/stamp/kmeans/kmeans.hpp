@@ -13,15 +13,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm::stamp {
-
-namespace kmeans_sites {
-// All shared-accumulator traffic: manually instrumented in original STAMP.
-inline constexpr Site kAccum{"kmeans.accum", true};
-}  // namespace kmeans_sites
 
 class KmeansApp : public App {
  public:

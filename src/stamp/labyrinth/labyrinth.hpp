@@ -11,14 +11,10 @@
 #include <vector>
 
 #include "containers/txqueue.hpp"
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 
 namespace cstm::stamp {
-
-namespace labyrinth_sites {
-inline constexpr Site kGrid{"labyrinth.grid", true};
-inline constexpr Site kCounter{"labyrinth.counter", true};
-}  // namespace labyrinth_sites
 
 class LabyrinthApp : public App {
  public:

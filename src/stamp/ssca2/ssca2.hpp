@@ -8,14 +8,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 #include "stm/stm.hpp"
 
 namespace cstm::stamp {
-
-namespace ssca2_sites {
-inline constexpr Site kAdj{"ssca2.adjacency", true};
-}  // namespace ssca2_sites
 
 class Ssca2App : public App {
  public:

@@ -17,24 +17,10 @@
 
 #include "containers/txlist.hpp"
 #include "containers/txmap.hpp"
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 
 namespace cstm::stamp {
-
-namespace vacation_sites {
-// Reservation bookkeeping: original STAMP instruments these by hand.
-// Freshly allocated records initialized in-tx go through tfield::init
-// (over-instrumented by a naive compiler, provably captured).
-inline constexpr Site kResField{"vacation.res.field", true};
-inline constexpr Site kCustField{"vacation.cust.field", true};
-// Query vector accesses: thread-local data (Figure 1(b)), registered with
-// add_private_memory_block. The analysis trusts the declared annotation
-// (vacation_reserve kernel, priv_addr) — verdict kPrivate, so the compiler
-// config elides these statically instead of leaving them to the runtime
-// registry check.
-inline constexpr Site kQueryVec{"vacation.query.vec", false,
-                                Verdict::kPrivate};
-}  // namespace vacation_sites
 
 class VacationApp : public App {
  public:

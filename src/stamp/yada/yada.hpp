@@ -16,14 +16,10 @@
 
 #include "containers/txheap.hpp"
 #include "containers/txmap.hpp"
+#include "generated/site_verdicts.hpp"
 #include "stamp/app.hpp"
 
 namespace cstm::stamp {
-
-namespace yada_sites {
-inline constexpr Site kElemField{"yada.elem.field", true};
-inline constexpr Site kCounter{"yada.counter", true};
-}  // namespace yada_sites
 
 class YadaApp : public App {
  public:

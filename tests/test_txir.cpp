@@ -1258,11 +1258,18 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
-// Verdict <-> Site cross-check: what the analysis proves for a kernel site
-// must equal the verdict the execution-side Site constant bakes in.
+// Verdict <-> Site cross-check. The old sampled hand-cross-check (a few
+// execution-side constants spot-checked against the analysis) is gone:
+// the constants are now GENERATED from the analysis, so the invariant is
+// enforced structurally — tests/test_sitegen.cpp checks every generated
+// row against its cited evidence and the `sitegen_check` ctest gates the
+// committed header against a fresh render. What remains here are the
+// Sites that are NOT generated (the tvar/tfield-derived init Sites and
+// the kAuto* lattice constants in src/stm/), which still need the
+// analysis cross-check by hand.
 // ---------------------------------------------------------------------------
 
-TEST(KernelSiteCrossCheck, ExecutionSideVerdictsMatchAnalysis) {
+TEST(KernelSiteCrossCheck, NonGeneratedSiteVerdictsMatchAnalysis) {
   const Program p = stamp_kernels();
 
   // vacation's Reservation field inits go through tfield::init, whose
@@ -1272,19 +1279,6 @@ TEST(KernelSiteCrossCheck, ExecutionSideVerdictsMatchAnalysis) {
   EXPECT_EQ(analyze(p, "vacation_update_add", 2)
                 .site_verdict("vacation.res.init.price"),
             ResField::kInitSite.verdict);
-
-  // vacation's query vector is the annotated thread-private block.
-  EXPECT_EQ(analyze(p, "vacation_reserve", 2)
-                .site_verdict("vacation.query.write"),
-            stamp::vacation_sites::kQueryVec.verdict);
-
-  // List iterators live on the transaction stack.
-  EXPECT_EQ(analyze(p, "iter_loop", 2).site_verdict("iter.init"),
-            list_sites::kIter.verdict);
-
-  // kmeans' accumulators are shared: no static elision.
-  EXPECT_EQ(analyze(p, "kmeans_update", 2).site_verdict("kmeans.center.write"),
-            stamp::kmeans_sites::kAccum.verdict);
 
   // The generic auto-captured Site used for tx_malloc'd scratch matches
   // the captured verdict of the allocator kernels.
